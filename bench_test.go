@@ -1,0 +1,124 @@
+// Package repro's top-level benchmarks regenerate each of the paper's
+// tables and figures through the experiments harness (at smoke-test scale;
+// run cmd/experiments without -quick for the full-fidelity numbers).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 7, Quick: true}
+}
+
+// BenchmarkTableI regenerates Table I (soft vs. hard symmetry in GP).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (area-term ablation).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (main conventional comparison:
+// SA vs. previous analytical work vs. ePlace-A on all ten circuits).
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (detailed placement back-ends from
+// identical global placements).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (HPWL–area tradeoff sweep on CM-OTA1).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableV_VII regenerates Tables V and VII together (they share
+// the performance-driven placements), including GNN training.
+func BenchmarkTableV_VII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		models, err := experiments.TrainAll(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := experiments.Table5And7(benchCfg(), models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVI regenerates Table VI (detailed CC-OTA metrics for
+// ePlace-A vs. ePlace-AP).
+func BenchmarkTableVI(b *testing.B) {
+	models, err := experiments.TrainAll(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchCfg(), models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (FOM–area tradeoff sweep on CM-OTA1).
+func BenchmarkFig6(b *testing.B) {
+	models, err := experiments.TrainAll(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchCfg(), models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the ePlace-A design-choice ablation study
+// (WA vs. LSE, flipping, refinement, portfolio).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutedValidation regenerates the post-route wirelength
+// validation (global routing of each method's placements).
+func BenchmarkRoutedValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RoutedValidation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Usage:
+//
+//	experiments [flags] [table1 fig2 table3 table4 fig5 table5 table6 table7 fig6 | all]
+//
+// Each selected experiment prints its results in a layout mirroring the
+// paper's table so the reproduction can be compared side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	seed := flag.Int64("seed", 7, "base random seed for every experiment")
+	quick := flag.Bool("quick", false, "reduced budgets (smoke-test scale)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	sel := flag.Args()
+	if len(sel) == 0 {
+		sel = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, s := range sel {
+		want[s] = true
+	}
+	all := want["all"]
+	ranAny := false
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ranAny = true
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		return nil
+	})
+	run("fig2", func() error {
+		rows, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig2(rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		pts, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSweep("Fig. 5: HPWL-area tradeoff on CM-OTA1", pts, false))
+		return nil
+	})
+	run("ablations", func() error {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblations(rows))
+		return nil
+	})
+	run("routed", func() error {
+		rows, err := experiments.RoutedValidation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRouted(rows))
+		return nil
+	})
+
+	// The performance-driven experiments share trained GNN models.
+	needPerf := all || want["table5"] || want["table6"] || want["table7"] || want["fig6"]
+	var models *experiments.Models
+	if needPerf {
+		start := time.Now()
+		var err error
+		models, err = experiments.TrainAll(cfg)
+		if err != nil {
+			log.Fatalf("training GNN models: %v", err)
+		}
+		fmt.Printf("[trained 10 GNN performance models in %.1fs]\n\n", time.Since(start).Seconds())
+	}
+
+	var t5 []experiments.Table5Row
+	var t7 []experiments.Table7Row
+	if all || want["table5"] || want["table7"] {
+		var err error
+		start := time.Now()
+		t5, t7, err = experiments.Table5And7(cfg, models)
+		if err != nil {
+			log.Fatalf("table5/7: %v", err)
+		}
+		ranAny = true
+		if all || want["table5"] {
+			fmt.Print(experiments.FormatTable5(t5))
+			fmt.Printf("[table5 done]\n\n")
+		}
+		if all || want["table7"] {
+			fmt.Print(experiments.FormatTable7(t7))
+			fmt.Printf("[table7 done]\n\n")
+		}
+		fmt.Printf("[table5+7 completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
+	run("table6", func() error {
+		res, err := experiments.Table6(cfg, models)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable6(res))
+		return nil
+	})
+	run("fig6", func() error {
+		pts, err := experiments.Fig6(cfg, models)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSweep("Fig. 6: FOM-area tradeoff on CM-OTA1", pts, true))
+		return nil
+	})
+
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "unknown experiment selection %v\n", sel)
+		fmt.Fprintf(os.Stderr, "available: table1 fig2 table3 table4 fig5 ablations routed table5 table6 table7 fig6 all\n")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,137 @@
+// Command placer places an analog netlist from a JSON file (or a built-in
+// benchmark circuit) with any of the three placement methods the library
+// implements, and writes the legal placement as JSON.
+//
+// Usage:
+//
+//	placer -circuit CC-OTA -method eplace-a
+//	placer -in mydesign.json -method sa -out placed.json
+//	placer -circuit VGA -method eplace-a -perf       (trains a GNN first)
+//	placer -circuit Adder -dump-netlist              (emit the JSON schema)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/testcircuits"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("placer: ")
+	var (
+		inPath  = flag.String("in", "", "netlist JSON file (see -dump-netlist for the schema)")
+		name    = flag.String("circuit", "", "built-in benchmark circuit name (see -list)")
+		method  = flag.String("method", "eplace-a", "placement method: sa | prev | eplace-a")
+		outPath = flag.String("out", "", "write placement JSON here (default stdout)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		perf    = flag.Bool("perf", false, "performance-driven variant (built-in circuits only; trains a GNN)")
+		list    = flag.Bool("list", false, "list built-in benchmark circuits")
+		dumpNet = flag.Bool("dump-netlist", false, "write the selected circuit's netlist JSON and exit")
+		svgPath = flag.String("svg", "", "additionally render the placement to this SVG file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, nm := range testcircuits.Names() {
+			fmt.Println(nm)
+		}
+		return
+	}
+
+	var n *circuit.Netlist
+	var cs *testcircuits.Case
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err = circuit.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *name != "":
+		var err error
+		cs, err = testcircuits.ByName(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n = cs.Netlist
+	default:
+		log.Fatal("need -in FILE or -circuit NAME (try -list)")
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *dumpNet {
+		if err := n.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var m core.Method
+	switch *method {
+	case "sa":
+		m = core.MethodSA
+	case "prev":
+		m = core.MethodPrev
+	case "eplace-a":
+		m = core.MethodEPlaceA
+	default:
+		log.Fatalf("unknown method %q (want sa, prev, or eplace-a)", *method)
+	}
+
+	opt := core.Options{Seed: *seed}
+	if *perf {
+		if cs == nil {
+			log.Fatal("-perf needs a built-in circuit (the GNN trains against its performance model)")
+		}
+		log.Print("training performance GNN...")
+		model, stats, err := core.TrainPerfGNN(n, cs.Perf, 0, core.TrainOptions{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained (validation accuracy %.2f)", stats.ValAccuracy)
+		opt.Perf = &core.PerfTerm{Model: model}
+	}
+
+	res, err := core.Place(n, m, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: area %.1f µm², HPWL %.1f µm, %.2fs, legal=%v",
+		res.Method, res.AreaUM2, res.HPWLUM, res.Runtime.Seconds(), res.Legal)
+	if cs != nil {
+		log.Printf("FOM %.3f", cs.Perf.FOM(n, res.Placement))
+	}
+	if err := n.WritePlacementJSON(out, res.Placement); err != nil {
+		log.Fatal(err)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := n.WriteSVG(f, res.Placement); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *svgPath)
+	}
+}

@@ -1,0 +1,403 @@
+// Package anneal implements the simulated-annealing analog placer the paper
+// uses as its baseline: a sequence-pair floorplanner over symmetry-island
+// macro blocks (symmetric pairs are fused into mirrored islands, aligned
+// pairs into rigid macros), with flipping moves, an adaptive geometric
+// cooling schedule, and multi-start restarts. The optional performance term
+// turns it into the performance-driven SA of [19]: the GNN's failure
+// probability Φ is added to the cost and evaluated by inference at every
+// accepted candidate.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/seqpair"
+)
+
+// PerfModel estimates the probability that circuit performance is
+// unsatisfactory for a candidate placement (the GNN model Φ of [19]).
+type PerfModel interface {
+	Prob(n *circuit.Netlist, p *circuit.Placement) float64
+}
+
+// Options configures the annealer.
+type Options struct {
+	Seed     int64
+	Moves    int // proposals per restart; 0 = 1500000 + 75000·n
+	Restarts int // independent runs, best kept (default 2)
+
+	AreaWeight float64 // weight of normalized area (default 0.5)
+	WLWeight   float64 // weight of normalized HPWL (default 0.5)
+
+	// Perf enables performance-driven annealing: PerfWeight·Φ(placement)
+	// joins the cost.
+	Perf       PerfModel
+	PerfWeight float64
+}
+
+func (o *Options) defaults(n int) {
+	if o.Moves == 0 {
+		o.Moves = 1500000 + 75000*n
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 2
+	}
+	if o.AreaWeight == 0 && o.WLWeight == 0 {
+		o.AreaWeight, o.WLWeight = 0.5, 0.5
+	}
+}
+
+// Stats reports annealing diagnostics.
+type Stats struct {
+	Proposals int
+	Accepts   int
+	BestCost  float64
+}
+
+type macroKind int
+
+const (
+	mSingle macroKind = iota
+	mIsland           // one symmetry group
+	mBottomPair
+	mVCenterPair
+)
+
+type rowRef struct {
+	isPair bool
+	idx    int // index into group.Pairs or group.Self
+}
+
+// macro is a rigid or semi-rigid block handed to the sequence pair.
+type macro struct {
+	kind    macroKind
+	devices []int
+
+	// Island state.
+	group    int      // symmetry group index
+	rows     []rowRef // bottom-to-top row order (mutable by SA)
+	pairSwap []bool   // per pair: mirror the two devices' sides
+	flipY    []bool   // per row: vertical flip of the row's devices
+	flipX    bool     // for mSingle / align macros: horizontal flip
+	yFlip    bool     // for mSingle / align macros: vertical flip
+}
+
+// state is one SA candidate: a sequence pair plus macro-internal choices.
+type state struct {
+	sp     *seqpair.Pair
+	macros []*macro
+}
+
+func (s *state) clone() *state {
+	ms := make([]*macro, len(s.macros))
+	for i, m := range s.macros {
+		c := *m
+		c.rows = append([]rowRef(nil), m.rows...)
+		c.pairSwap = append([]bool(nil), m.pairSwap...)
+		c.flipY = append([]bool(nil), m.flipY...)
+		ms[i] = &c
+	}
+	return &state{sp: s.sp.Clone(), macros: ms}
+}
+
+// buildMacros groups devices into SA blocks.
+func buildMacros(n *circuit.Netlist) ([]*macro, error) {
+	used := make([]bool, len(n.Devices))
+	var macros []*macro
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		m := &macro{kind: mIsland, group: gi}
+		for pi, pr := range g.Pairs {
+			m.rows = append(m.rows, rowRef{isPair: true, idx: pi})
+			m.devices = append(m.devices, pr[0], pr[1])
+			used[pr[0]], used[pr[1]] = true, true
+		}
+		for si, r := range g.Self {
+			m.rows = append(m.rows, rowRef{isPair: false, idx: si})
+			m.devices = append(m.devices, r)
+			used[r] = true
+		}
+		m.pairSwap = make([]bool, len(g.Pairs))
+		m.flipY = make([]bool, len(m.rows))
+		macros = append(macros, m)
+	}
+	addPairMacro := func(pr [2]int, kind macroKind) error {
+		if used[pr[0]] || used[pr[1]] {
+			return fmt.Errorf("anneal: device %d or %d already in a macro; overlapping constraint groups are unsupported", pr[0], pr[1])
+		}
+		used[pr[0]], used[pr[1]] = true, true
+		macros = append(macros, &macro{kind: kind, devices: []int{pr[0], pr[1]}})
+		return nil
+	}
+	for _, pr := range n.BottomAlign {
+		if err := addPairMacro(pr, mBottomPair); err != nil {
+			return nil, err
+		}
+	}
+	for _, pr := range n.VCenterAlign {
+		if err := addPairMacro(pr, mVCenterPair); err != nil {
+			return nil, err
+		}
+	}
+	for i := range n.Devices {
+		if !used[i] {
+			macros = append(macros, &macro{kind: mSingle, devices: []int{i}})
+		}
+	}
+	return macros, nil
+}
+
+// layout computes the macro's bounding block and writes device placements
+// relative to the macro's lower-left corner into relX/relY/flipX/flipY
+// (indexed by device).
+func (m *macro) layout(n *circuit.Netlist, relX, relY []float64, flipX, flipY []bool) seqpair.Block {
+	switch m.kind {
+	case mSingle:
+		i := m.devices[0]
+		d := &n.Devices[i]
+		relX[i], relY[i] = d.W/2, d.H/2
+		flipX[i], flipY[i] = m.flipX, m.yFlip
+		return seqpair.Block{W: d.W, H: d.H}
+	case mBottomPair:
+		a, b := m.devices[0], m.devices[1]
+		da, db := &n.Devices[a], &n.Devices[b]
+		relX[a], relY[a] = da.W/2, da.H/2
+		relX[b], relY[b] = da.W+db.W/2, db.H/2
+		flipX[a], flipY[a] = m.flipX, m.yFlip
+		flipX[b], flipY[b] = m.flipX, m.yFlip
+		return seqpair.Block{W: da.W + db.W, H: math.Max(da.H, db.H)}
+	case mVCenterPair:
+		a, b := m.devices[0], m.devices[1]
+		da, db := &n.Devices[a], &n.Devices[b]
+		w := math.Max(da.W, db.W)
+		relX[a], relY[a] = w/2, da.H/2
+		relX[b], relY[b] = w/2, da.H+db.H/2
+		flipX[a], flipY[a] = m.flipX, m.yFlip
+		flipX[b], flipY[b] = m.flipX, m.yFlip
+		return seqpair.Block{W: w, H: da.H + db.H}
+	default: // mIsland
+		g := &n.SymGroups[m.group]
+		var width float64
+		for _, r := range m.rows {
+			if r.isPair {
+				width = math.Max(width, 2*n.Devices[g.Pairs[r.idx][0]].W)
+			} else {
+				width = math.Max(width, n.Devices[g.Self[r.idx]].W)
+			}
+		}
+		axis := width / 2
+		var y float64
+		for ri, r := range m.rows {
+			if r.isPair {
+				q1, q2 := g.Pairs[r.idx][0], g.Pairs[r.idx][1]
+				if m.pairSwap[r.idx] {
+					q1, q2 = q2, q1
+				}
+				d := &n.Devices[q1]
+				relX[q1], relY[q1] = axis-d.W/2, y+d.H/2
+				relX[q2], relY[q2] = axis+d.W/2, y+d.H/2
+				// Mirror layout: the right device is the left one flipped.
+				flipX[q1], flipX[q2] = false, true
+				flipY[q1], flipY[q2] = m.flipY[ri], m.flipY[ri]
+				y += d.H
+			} else {
+				r0 := g.Self[r.idx]
+				d := &n.Devices[r0]
+				relX[r0], relY[r0] = axis, y+d.H/2
+				flipX[r0], flipY[r0] = false, m.flipY[ri]
+				y += d.H
+			}
+		}
+		return seqpair.Block{W: width, H: y}
+	}
+}
+
+// axisOffset returns the symmetry-axis x offset within an island macro.
+func (m *macro) axisOffset(n *circuit.Netlist) float64 {
+	g := &n.SymGroups[m.group]
+	var width float64
+	for _, r := range m.rows {
+		if r.isPair {
+			width = math.Max(width, 2*n.Devices[g.Pairs[r.idx][0]].W)
+		} else {
+			width = math.Max(width, n.Devices[g.Self[r.idx]].W)
+		}
+	}
+	return width / 2
+}
+
+// evaluator turns a state into a placement and cost.
+type evaluator struct {
+	n      *circuit.Netlist
+	opt    *Options
+	blocks []seqpair.Block
+	place  *circuit.Placement
+	relX   []float64
+	relY   []float64
+
+	normArea float64
+	normWL   float64
+}
+
+func newEvaluator(n *circuit.Netlist, opt *Options) *evaluator {
+	return &evaluator{
+		n:        n,
+		opt:      opt,
+		place:    circuit.NewPlacement(n),
+		relX:     make([]float64, len(n.Devices)),
+		relY:     make([]float64, len(n.Devices)),
+		normArea: math.Max(n.TotalDeviceArea(), 1),
+	}
+}
+
+// realize packs the state and fills ev.place (shared scratch; copy to keep).
+func (ev *evaluator) realize(s *state) {
+	if cap(ev.blocks) < len(s.macros) {
+		ev.blocks = make([]seqpair.Block, len(s.macros))
+	}
+	ev.blocks = ev.blocks[:len(s.macros)]
+	for mi, m := range s.macros {
+		ev.blocks[mi] = m.layout(ev.n, ev.relX, ev.relY, ev.place.FlipX, ev.place.FlipY)
+	}
+	pos, _, _ := s.sp.Pack(ev.blocks)
+	for mi, m := range s.macros {
+		for _, d := range m.devices {
+			ev.place.X[d] = pos[mi].X + ev.relX[d]
+			ev.place.Y[d] = pos[mi].Y + ev.relY[d]
+		}
+		if m.kind == mIsland {
+			ev.place.AxisX[m.group] = pos[mi].X + m.axisOffset(ev.n)
+		}
+	}
+}
+
+// cost evaluates the weighted cost of a state.
+func (ev *evaluator) cost(s *state) float64 {
+	ev.realize(s)
+	area := ev.n.Area(ev.place)
+	hpwl := ev.n.HPWL(ev.place)
+	if ev.normWL == 0 {
+		ev.normWL = math.Max(hpwl, 1)
+	}
+	c := ev.opt.AreaWeight*area/ev.normArea + ev.opt.WLWeight*hpwl/ev.normWL
+	c += ev.orderPenalty()
+	if ev.opt.Perf != nil && ev.opt.PerfWeight != 0 {
+		c += ev.opt.PerfWeight * ev.opt.Perf.Prob(ev.n, ev.place)
+	}
+	return c
+}
+
+// orderPenalty charges horizontal-order violations (Eq. 4i) proportionally
+// to the violation distance.
+func (ev *evaluator) orderPenalty() float64 {
+	var pen float64
+	for _, grp := range ev.n.HOrders {
+		for k := 0; k+1 < len(grp); k++ {
+			j, kk := grp[k], grp[k+1]
+			right := ev.place.X[j] + ev.n.Devices[j].W/2
+			left := ev.place.X[kk] - ev.n.Devices[kk].W/2
+			if right > left {
+				pen += (right - left) * 0.05
+			}
+		}
+	}
+	return pen
+}
+
+// mutate applies one random move to s in place.
+func mutate(s *state, rng *rand.Rand) {
+	nb := s.sp.Len()
+	r := rng.Float64()
+	switch {
+	case r < 0.35 && nb >= 2:
+		s.sp.SwapPlus(rng.Intn(nb), rng.Intn(nb))
+	case r < 0.55 && nb >= 2:
+		s.sp.SwapMinus(rng.Intn(nb), rng.Intn(nb))
+	case r < 0.70 && nb >= 2:
+		s.sp.SwapBoth(rng.Intn(nb), rng.Intn(nb))
+	default:
+		m := s.macros[rng.Intn(len(s.macros))]
+		switch m.kind {
+		case mIsland:
+			switch k := rng.Intn(3); {
+			case k == 0 && len(m.rows) >= 2:
+				i, j := rng.Intn(len(m.rows)), rng.Intn(len(m.rows))
+				m.rows[i], m.rows[j] = m.rows[j], m.rows[i]
+				m.flipY[i], m.flipY[j] = m.flipY[j], m.flipY[i]
+			case k == 1 && len(m.pairSwap) > 0:
+				i := rng.Intn(len(m.pairSwap))
+				m.pairSwap[i] = !m.pairSwap[i]
+			default:
+				i := rng.Intn(len(m.flipY))
+				m.flipY[i] = !m.flipY[i]
+			}
+		default:
+			if rng.Intn(2) == 0 {
+				m.flipX = !m.flipX
+			} else {
+				m.yFlip = !m.yFlip
+			}
+		}
+	}
+}
+
+// Place runs multi-start simulated annealing and returns the best legal
+// placement found.
+func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) {
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opt.defaults(len(n.Devices))
+	macros, err := buildMacros(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ev := newEvaluator(n, &opt)
+	stats := &Stats{}
+
+	var bestPlace *circuit.Placement
+	bestCost := math.Inf(1)
+
+	for restart := 0; restart < opt.Restarts; restart++ {
+		cur := &state{sp: seqpair.Random(len(macros), rng), macros: macros}
+		cur = cur.clone() // own the macro state
+		curCost := ev.cost(cur)
+
+		// Temperature calibration: sample move deltas.
+		var sumAbs float64
+		samples := 50
+		for i := 0; i < samples; i++ {
+			trial := cur.clone()
+			mutate(trial, rng)
+			sumAbs += math.Abs(ev.cost(trial) - curCost)
+		}
+		t0 := math.Max(sumAbs/float64(samples), 1e-6)
+		tf := t0 * 1e-5
+		alpha := math.Pow(tf/t0, 1/float64(opt.Moves))
+
+		temp := t0
+		for move := 0; move < opt.Moves; move++ {
+			trial := cur.clone()
+			mutate(trial, rng)
+			c := ev.cost(trial)
+			stats.Proposals++
+			if d := c - curCost; d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cur, curCost = trial, c
+				stats.Accepts++
+				if curCost < bestCost {
+					bestCost = curCost
+					ev.realize(cur)
+					bestPlace = ev.place.Clone()
+				}
+			}
+			temp *= alpha
+		}
+	}
+	stats.BestCost = bestCost
+	n.Normalize(bestPlace)
+	return bestPlace, stats, nil
+}

@@ -1,0 +1,176 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/geom"
+)
+
+// alignNetlist builds four plain devices for macro-layout unit tests.
+func alignNetlist() *circuit.Netlist {
+	mk := func(name string, w, h float64) circuit.Device {
+		return circuit.Device{Name: name, W: w, H: h,
+			Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: w / 4, Y: h / 2}}}}
+	}
+	return &circuit.Netlist{
+		Name:    "align",
+		Devices: []circuit.Device{mk("a", 6, 4), mk("b", 4, 7), mk("c", 5, 5), mk("d", 3, 3)},
+		Nets: []circuit.Net{
+			{Name: "n", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 2, Pin: 0}}},
+		},
+	}
+}
+
+func scratch(n *circuit.Netlist) (relX, relY []float64, fx, fy []bool) {
+	k := len(n.Devices)
+	return make([]float64, k), make([]float64, k), make([]bool, k), make([]bool, k)
+}
+
+func TestSingleMacroLayout(t *testing.T) {
+	n := alignNetlist()
+	m := &macro{kind: mSingle, devices: []int{1}}
+	relX, relY, fx, fy := scratch(n)
+	blk := m.layout(n, relX, relY, fx, fy)
+	if blk.W != 4 || blk.H != 7 {
+		t.Errorf("block = %+v, want 4x7", blk)
+	}
+	if relX[1] != 2 || relY[1] != 3.5 {
+		t.Errorf("center offset = (%g, %g)", relX[1], relY[1])
+	}
+	m.flipX = true
+	m.layout(n, relX, relY, fx, fy)
+	if !fx[1] {
+		t.Error("flipX not propagated")
+	}
+}
+
+func TestBottomPairMacroLayout(t *testing.T) {
+	n := alignNetlist()
+	m := &macro{kind: mBottomPair, devices: []int{0, 1}} // 6x4 and 4x7
+	relX, relY, fx, fy := scratch(n)
+	blk := m.layout(n, relX, relY, fx, fy)
+	if blk.W != 10 || blk.H != 7 {
+		t.Errorf("block = %+v, want 10x7", blk)
+	}
+	// Bottoms aligned: both bottom edges at 0.
+	if relY[0]-n.Devices[0].H/2 != 0 || relY[1]-n.Devices[1].H/2 != 0 {
+		t.Errorf("bottoms not aligned: %g, %g", relY[0]-2, relY[1]-3.5)
+	}
+	// Side by side, no overlap.
+	if relX[0]+n.Devices[0].W/2 > relX[1]-n.Devices[1].W/2+1e-12 {
+		t.Error("pair devices overlap horizontally")
+	}
+}
+
+func TestVCenterPairMacroLayout(t *testing.T) {
+	n := alignNetlist()
+	m := &macro{kind: mVCenterPair, devices: []int{0, 2}} // 6x4 and 5x5
+	relX, relY, fx, fy := scratch(n)
+	blk := m.layout(n, relX, relY, fx, fy)
+	if blk.W != 6 || blk.H != 9 {
+		t.Errorf("block = %+v, want 6x9", blk)
+	}
+	if relX[0] != relX[2] {
+		t.Errorf("x-centers differ: %g vs %g", relX[0], relX[2])
+	}
+	if relY[0]+n.Devices[0].H/2 > relY[2]-n.Devices[2].H/2+1e-12 {
+		t.Error("stacked devices overlap vertically")
+	}
+}
+
+func TestIslandMacroLayout(t *testing.T) {
+	n := &circuit.Netlist{
+		Name: "island",
+		Devices: []circuit.Device{
+			{Name: "q1", W: 6, H: 4, Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 2}}}},
+			{Name: "q2", W: 6, H: 4, Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 2}}}},
+			{Name: "s", W: 8, H: 3, Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 4, Y: 1}}}},
+		},
+		Nets:      []circuit.Net{{Name: "n", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 2, Pin: 0}}}},
+		SymGroups: []circuit.SymmetryGroup{{Pairs: [][2]int{{0, 1}}, Self: []int{2}}},
+	}
+	macros, err := buildMacros(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(macros) != 1 || macros[0].kind != mIsland {
+		t.Fatalf("want a single island macro, got %+v", macros)
+	}
+	relX, relY, fx, fy := scratch(n)
+	blk := macros[0].layout(n, relX, relY, fx, fy)
+	// Width: max(2·6, 8) = 12; height: 4 + 3 = 7.
+	if blk.W != 12 || blk.H != 7 {
+		t.Errorf("island block = %+v, want 12x7", blk)
+	}
+	axis := macros[0].axisOffset(n)
+	if axis != 6 {
+		t.Errorf("axis offset = %g, want 6", axis)
+	}
+	// Pair mirrored about the axis, self-symmetric centered on it.
+	if math.Abs((relX[0]+relX[1])/2-axis) > 1e-12 {
+		t.Errorf("pair not centered on axis: %g, %g", relX[0], relX[1])
+	}
+	if relX[2] != axis {
+		t.Errorf("self device off axis: %g", relX[2])
+	}
+	if relY[0] != relY[1] {
+		t.Errorf("pair rows differ: %g vs %g", relY[0], relY[1])
+	}
+	if fx[0] == fx[1] {
+		t.Error("mirrored pair should have complementary x-flips")
+	}
+}
+
+func TestIslandPairSwap(t *testing.T) {
+	n := &circuit.Netlist{
+		Name: "swap",
+		Devices: []circuit.Device{
+			{Name: "q1", W: 6, H: 4, Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 2}}}},
+			{Name: "q2", W: 6, H: 4, Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 2}}}},
+		},
+		Nets:      []circuit.Net{{Name: "n", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 0}}}},
+		SymGroups: []circuit.SymmetryGroup{{Pairs: [][2]int{{0, 1}}}},
+	}
+	macros, err := buildMacros(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := macros[0]
+	relX, relY, fx, fy := scratch(n)
+	m.layout(n, relX, relY, fx, fy)
+	leftBefore := relX[0] < relX[1]
+	m.pairSwap[0] = true
+	m.layout(n, relX, relY, fx, fy)
+	if (relX[0] < relX[1]) == leftBefore {
+		t.Error("pairSwap did not exchange sides")
+	}
+}
+
+func TestBuildMacrosPartition(t *testing.T) {
+	n := alignNetlist()
+	n.BottomAlign = [][2]int{{0, 1}}
+	macros, err := buildMacros(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bottom pair + two singles.
+	counts := map[macroKind]int{}
+	seen := map[int]bool{}
+	for _, m := range macros {
+		counts[m.kind]++
+		for _, d := range m.devices {
+			if seen[d] {
+				t.Errorf("device %d in two macros", d)
+			}
+			seen[d] = true
+		}
+	}
+	if counts[mBottomPair] != 1 || counts[mSingle] != 2 {
+		t.Errorf("macro partition wrong: %v", counts)
+	}
+	if len(seen) != len(n.Devices) {
+		t.Errorf("devices covered: %d of %d", len(seen), len(n.Devices))
+	}
+}

@@ -1,0 +1,283 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// twoDeviceNetlist builds a minimal netlist: two 4x2 devices, one net
+// between a pin on each.
+func twoDeviceNetlist() *Netlist {
+	return &Netlist{
+		Name: "pair",
+		Devices: []Device{
+			{Name: "A", Type: NMOS, W: 4, H: 2, Pins: []Pin{{Name: "g", Offset: geom.Point{X: 1, Y: 1}}}},
+			{Name: "B", Type: NMOS, W: 4, H: 2, Pins: []Pin{{Name: "g", Offset: geom.Point{X: 3, Y: 1}}}},
+		},
+		Nets: []Net{{Name: "n1", Pins: []PinRef{{0, 0}, {1, 0}}}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	n := twoDeviceNetlist()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(n *Netlist)
+		want string
+	}{
+		{"zero width", func(n *Netlist) { n.Devices[0].W = 0 }, "non-positive size"},
+		{"pin outside", func(n *Netlist) { n.Devices[0].Pins[0].Offset.X = 99 }, "outside footprint"},
+		{"empty net", func(n *Netlist) { n.Nets[0].Pins = nil }, "has no pins"},
+		{"bad device ref", func(n *Netlist) { n.Nets[0].Pins[0].Device = 7 }, "references device"},
+		{"bad pin ref", func(n *Netlist) { n.Nets[0].Pins[0].Pin = 3 }, "references pin"},
+		{"negative weight", func(n *Netlist) { n.Nets[0].Weight = -1 }, "negative weight"},
+		{"self pair", func(n *Netlist) {
+			n.SymGroups = []SymmetryGroup{{Pairs: [][2]int{{0, 0}}}}
+		}, "with itself"},
+		{"empty sym group", func(n *Netlist) {
+			n.SymGroups = []SymmetryGroup{{}}
+		}, "is empty"},
+		{"mismatched sym footprints", func(n *Netlist) {
+			n.Devices[1].H = 3
+			n.SymGroups = []SymmetryGroup{{Pairs: [][2]int{{0, 1}}}}
+		}, "mismatched footprints"},
+		{"dup sym membership", func(n *Netlist) {
+			n.SymGroups = []SymmetryGroup{
+				{Self: []int{0}},
+				{Self: []int{0}},
+			}
+		}, "symmetry groups"},
+		{"short order group", func(n *Netlist) { n.HOrders = [][]int{{0}} }, "need >= 2"},
+	}
+	for _, tc := range cases {
+		n := twoDeviceNetlist()
+		tc.mut(n)
+		err := n.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid netlist", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPinPosFlipping(t *testing.T) {
+	n := twoDeviceNetlist()
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1 // device A occupies [0,4]x[0,2]
+
+	got := n.PinPos(p, PinRef{0, 0})
+	if got != (geom.Point{X: 1, Y: 1}) {
+		t.Errorf("unflipped pin = %v, want (1,1)", got)
+	}
+	p.FlipX[0] = true
+	got = n.PinPos(p, PinRef{0, 0})
+	if got != (geom.Point{X: 3, Y: 1}) {
+		t.Errorf("x-flipped pin = %v, want (3,1)", got)
+	}
+	p.FlipY[0] = true
+	got = n.PinPos(p, PinRef{0, 0})
+	if got != (geom.Point{X: 3, Y: 1}) {
+		t.Errorf("xy-flipped pin = %v, want (3,1) for centered pin y", got)
+	}
+	// Footprint must not move under flipping.
+	r := n.DeviceRect(p, 0)
+	if r != geom.RectWH(0, 0, 4, 2) {
+		t.Errorf("flipping moved footprint: %v", r)
+	}
+}
+
+func TestHPWLAndArea(t *testing.T) {
+	n := twoDeviceNetlist()
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1  // A at [0,4]x[0,2], pin (1,1)
+	p.X[1], p.Y[1] = 12, 1 // B at [10,14]x[0,2], pin (13,1)
+
+	if got := n.NetHPWL(p, 0); got != 12 {
+		t.Errorf("NetHPWL = %g, want 12", got)
+	}
+	if got := n.HPWL(p); got != 12 {
+		t.Errorf("HPWL = %g, want 12", got)
+	}
+	n.Nets[0].Weight = 2.5
+	if got := n.HPWL(p); got != 30 {
+		t.Errorf("weighted HPWL = %g, want 30", got)
+	}
+	if got := n.Area(p); got != 14*2 {
+		t.Errorf("Area = %g, want 28", got)
+	}
+	bb := n.BoundingBox(p)
+	if bb != (geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 14, Y: 2}}) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+}
+
+func TestTotalOverlap(t *testing.T) {
+	n := twoDeviceNetlist()
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1
+	p.X[1], p.Y[1] = 4, 1 // B at [2,6]x[0,2]: overlap 2x2 with A
+	if got := n.TotalOverlap(p); got != 4 {
+		t.Errorf("TotalOverlap = %g, want 4", got)
+	}
+	p.X[1] = 100
+	if got := n.TotalOverlap(p); got != 0 {
+		t.Errorf("TotalOverlap disjoint = %g, want 0", got)
+	}
+}
+
+func TestCheckLegalSymmetry(t *testing.T) {
+	n := twoDeviceNetlist()
+	n.SymGroups = []SymmetryGroup{{Pairs: [][2]int{{0, 1}}}}
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1
+	p.X[1], p.Y[1] = 10, 1
+	p.AxisX[0] = 6
+
+	if rep := n.CheckLegal(p, 1e-6); !rep.OK() {
+		t.Fatalf("symmetric placement reported illegal: %+v", rep)
+	}
+	p.Y[1] = 5
+	rep := n.CheckLegal(p, 1e-6)
+	if len(rep.SymViolations) == 0 {
+		t.Error("y-mismatch not detected")
+	}
+	if rep.Err() == nil {
+		t.Error("Err should be non-nil for illegal placement")
+	}
+	p.Y[1] = 1
+	p.AxisX[0] = 7
+	rep = n.CheckLegal(p, 1e-6)
+	if len(rep.SymViolations) == 0 {
+		t.Error("axis offset not detected")
+	}
+}
+
+func TestCheckLegalAlignAndOrder(t *testing.T) {
+	n := twoDeviceNetlist()
+	n.BottomAlign = [][2]int{{0, 1}}
+	n.VCenterAlign = [][2]int{{0, 1}}
+	n.HOrders = [][]int{{0, 1}}
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1
+	p.X[1], p.Y[1] = 2, 10 // stacked vertically, same x-center, same... bottom differs
+
+	rep := n.CheckLegal(p, 1e-6)
+	if len(rep.AlignErrors) != 1 {
+		t.Errorf("want 1 bottom-align error, got %v", rep.AlignErrors)
+	}
+	if len(rep.OrderErrors) != 1 {
+		t.Errorf("want 1 order error (x overlap in order), got %v", rep.OrderErrors)
+	}
+	// Fix: B to the right of A, same bottom.
+	p.X[1], p.Y[1] = 8, 1
+	rep = n.CheckLegal(p, 1e-6)
+	if len(rep.AlignErrors) != 1 { // vcenter now violated
+		t.Errorf("want 1 vcenter error, got %v", rep.AlignErrors)
+	}
+	if len(rep.OrderErrors) != 0 {
+		t.Errorf("order should now pass, got %v", rep.OrderErrors)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := twoDeviceNetlist()
+	n.SymGroups = []SymmetryGroup{{Pairs: [][2]int{{0, 1}}}}
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = -5, 7
+	p.X[1], p.Y[1] = 3, 7
+	p.AxisX[0] = -1
+	n.Normalize(p)
+	bb := n.BoundingBox(p)
+	if math.Abs(bb.Lo.X) > 1e-12 || math.Abs(bb.Lo.Y) > 1e-12 {
+		t.Errorf("Normalize left lower-left at %v", bb.Lo)
+	}
+	// Axis must shift with devices: still centered between them.
+	want := (p.X[0] + p.X[1]) / 2
+	if math.Abs(p.AxisX[0]-want) > 1e-12 {
+		t.Errorf("axis = %g, want %g", p.AxisX[0], want)
+	}
+}
+
+func TestResolveAxes(t *testing.T) {
+	n := twoDeviceNetlist()
+	n.SymGroups = []SymmetryGroup{{Pairs: [][2]int{{0, 1}}, Self: nil}}
+	p := NewPlacement(n)
+	p.X[0], p.X[1] = 0, 10
+	n.ResolveAxes(p)
+	if p.AxisX[0] != 5 {
+		t.Errorf("axis = %g, want 5", p.AxisX[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := twoDeviceNetlist()
+	p := NewPlacement(n)
+	p.X[0] = 1
+	q := p.Clone()
+	q.X[0] = 99
+	q.FlipX[0] = true
+	if p.X[0] != 1 || p.FlipX[0] {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestDeviceDegree(t *testing.T) {
+	n := twoDeviceNetlist()
+	// Add a second net touching only device 0 twice (same device, two refs).
+	n.Devices[0].Pins = append(n.Devices[0].Pins, Pin{Name: "d", Offset: geom.Point{X: 2, Y: 1}})
+	n.Nets = append(n.Nets, Net{Name: "n2", Pins: []PinRef{{0, 0}, {0, 1}}})
+	deg := n.DeviceDegree()
+	if deg[0] != 2 || deg[1] != 1 {
+		t.Errorf("DeviceDegree = %v, want [2 1]", deg)
+	}
+}
+
+func TestCheckSized(t *testing.T) {
+	n := twoDeviceNetlist()
+	p := NewPlacement(n)
+	if err := n.CheckSized(p); err != nil {
+		t.Fatalf("CheckSized: %v", err)
+	}
+	p.X = p.X[:1]
+	if err := n.CheckSized(p); err == nil {
+		t.Fatal("CheckSized accepted wrong-sized placement")
+	}
+}
+
+func TestTotalDeviceArea(t *testing.T) {
+	n := twoDeviceNetlist()
+	if got := n.TotalDeviceArea(); got != 16 {
+		t.Errorf("TotalDeviceArea = %g, want 16", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := LenUM(25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("LenUM(25) = %g", got)
+	}
+	if got := AreaUM2(100); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AreaUM2(100) = %g", got)
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	for ty, want := range map[DeviceType]string{
+		NMOS: "nmos", PMOS: "pmos", Cap: "cap", Res: "res", Ind: "ind", Other: "other",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package circuit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// jsonNetlist is the on-disk schema for a netlist. Field names are chosen
+// for hand-editability; see cmd/placer for a full example.
+type jsonNetlist struct {
+	Name    string       `json:"name"`
+	Devices []jsonDevice `json:"devices"`
+	Nets    []jsonNet    `json:"nets"`
+
+	SymGroups    []jsonSymGroup `json:"symmetry_groups,omitempty"`
+	BottomAlign  [][2]string    `json:"bottom_align,omitempty"`
+	VCenterAlign [][2]string    `json:"vcenter_align,omitempty"`
+	HOrders      [][]string     `json:"horizontal_orders,omitempty"`
+}
+
+type jsonDevice struct {
+	Name string    `json:"name"`
+	Type string    `json:"type"`
+	W    float64   `json:"w"`
+	H    float64   `json:"h"`
+	Pins []jsonPin `json:"pins"`
+}
+
+type jsonPin struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+type jsonNet struct {
+	Name   string   `json:"name"`
+	Pins   []string `json:"pins"` // "device.pin"
+	Weight float64  `json:"weight,omitempty"`
+}
+
+type jsonSymGroup struct {
+	Pairs [][2]string `json:"pairs,omitempty"`
+	Self  []string    `json:"self,omitempty"`
+}
+
+func typeFromString(s string) (DeviceType, error) {
+	for t := NMOS; t <= Other; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return Other, fmt.Errorf("circuit: unknown device type %q", s)
+}
+
+// WriteJSON serializes the netlist to w.
+func (n *Netlist) WriteJSON(w io.Writer) error {
+	out := jsonNetlist{Name: n.Name}
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		jd := jsonDevice{Name: d.Name, Type: d.Type.String(), W: d.W, H: d.H}
+		for _, p := range d.Pins {
+			jd.Pins = append(jd.Pins, jsonPin{Name: p.Name, X: p.Offset.X, Y: p.Offset.Y})
+		}
+		out.Devices = append(out.Devices, jd)
+	}
+	pinRefName := func(pr PinRef) string {
+		return n.Devices[pr.Device].Name + "." + n.Devices[pr.Device].Pins[pr.Pin].Name
+	}
+	for e := range n.Nets {
+		net := &n.Nets[e]
+		jn := jsonNet{Name: net.Name, Weight: net.Weight}
+		for _, pr := range net.Pins {
+			jn.Pins = append(jn.Pins, pinRefName(pr))
+		}
+		out.Nets = append(out.Nets, jn)
+	}
+	devName := func(i int) string { return n.Devices[i].Name }
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		jg := jsonSymGroup{}
+		for _, pr := range g.Pairs {
+			jg.Pairs = append(jg.Pairs, [2]string{devName(pr[0]), devName(pr[1])})
+		}
+		for _, r := range g.Self {
+			jg.Self = append(jg.Self, devName(r))
+		}
+		out.SymGroups = append(out.SymGroups, jg)
+	}
+	for _, pr := range n.BottomAlign {
+		out.BottomAlign = append(out.BottomAlign, [2]string{devName(pr[0]), devName(pr[1])})
+	}
+	for _, pr := range n.VCenterAlign {
+		out.VCenterAlign = append(out.VCenterAlign, [2]string{devName(pr[0]), devName(pr[1])})
+	}
+	for _, grp := range n.HOrders {
+		var names []string
+		for _, d := range grp {
+			names = append(names, devName(d))
+		}
+		out.HOrders = append(out.HOrders, names)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a netlist from r and validates it.
+func ReadJSON(r io.Reader) (*Netlist, error) {
+	var in jsonNetlist
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("circuit: parsing netlist JSON: %w", err)
+	}
+	n := &Netlist{Name: in.Name}
+	devIdx := map[string]int{}
+	for _, jd := range in.Devices {
+		if _, dup := devIdx[jd.Name]; dup {
+			return nil, fmt.Errorf("circuit: duplicate device name %q", jd.Name)
+		}
+		ty, err := typeFromString(jd.Type)
+		if err != nil {
+			return nil, err
+		}
+		d := Device{Name: jd.Name, Type: ty, W: jd.W, H: jd.H}
+		for _, jp := range jd.Pins {
+			d.Pins = append(d.Pins, Pin{Name: jp.Name, Offset: geom.Point{X: jp.X, Y: jp.Y}})
+		}
+		devIdx[jd.Name] = len(n.Devices)
+		n.Devices = append(n.Devices, d)
+	}
+	lookupDev := func(name string) (int, error) {
+		i, ok := devIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("circuit: unknown device %q", name)
+		}
+		return i, nil
+	}
+	lookupPin := func(ref string) (PinRef, error) {
+		for cut := len(ref) - 1; cut > 0; cut-- {
+			if ref[cut] != '.' {
+				continue
+			}
+			di, ok := devIdx[ref[:cut]]
+			if !ok {
+				continue
+			}
+			pinName := ref[cut+1:]
+			for pi := range n.Devices[di].Pins {
+				if n.Devices[di].Pins[pi].Name == pinName {
+					return PinRef{Device: di, Pin: pi}, nil
+				}
+			}
+			return PinRef{}, fmt.Errorf("circuit: device %q has no pin %q", ref[:cut], pinName)
+		}
+		return PinRef{}, fmt.Errorf("circuit: pin reference %q is not of the form device.pin", ref)
+	}
+	for _, jn := range in.Nets {
+		net := Net{Name: jn.Name, Weight: jn.Weight}
+		for _, ref := range jn.Pins {
+			pr, err := lookupPin(ref)
+			if err != nil {
+				return nil, fmt.Errorf("net %q: %w", jn.Name, err)
+			}
+			net.Pins = append(net.Pins, pr)
+		}
+		n.Nets = append(n.Nets, net)
+	}
+	for _, jg := range in.SymGroups {
+		g := SymmetryGroup{}
+		for _, pr := range jg.Pairs {
+			a, err := lookupDev(pr[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := lookupDev(pr[1])
+			if err != nil {
+				return nil, err
+			}
+			g.Pairs = append(g.Pairs, [2]int{a, b})
+		}
+		for _, nm := range jg.Self {
+			r, err := lookupDev(nm)
+			if err != nil {
+				return nil, err
+			}
+			g.Self = append(g.Self, r)
+		}
+		n.SymGroups = append(n.SymGroups, g)
+	}
+	pair := func(pr [2]string) ([2]int, error) {
+		a, err := lookupDev(pr[0])
+		if err != nil {
+			return [2]int{}, err
+		}
+		b, err := lookupDev(pr[1])
+		if err != nil {
+			return [2]int{}, err
+		}
+		return [2]int{a, b}, nil
+	}
+	for _, jp := range in.BottomAlign {
+		p, err := pair(jp)
+		if err != nil {
+			return nil, err
+		}
+		n.BottomAlign = append(n.BottomAlign, p)
+	}
+	for _, jp := range in.VCenterAlign {
+		p, err := pair(jp)
+		if err != nil {
+			return nil, err
+		}
+		n.VCenterAlign = append(n.VCenterAlign, p)
+	}
+	for _, names := range in.HOrders {
+		var grp []int
+		for _, nm := range names {
+			d, err := lookupDev(nm)
+			if err != nil {
+				return nil, err
+			}
+			grp = append(grp, d)
+		}
+		n.HOrders = append(n.HOrders, grp)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// jsonPlacement is the on-disk schema for a placement result.
+type jsonPlacement struct {
+	Design  string             `json:"design"`
+	AreaUM2 float64            `json:"area_um2"`
+	HPWLUM  float64            `json:"hpwl_um"`
+	Devices []jsonPlacedDevice `json:"devices"`
+	Axes    []float64          `json:"symmetry_axes_x,omitempty"`
+}
+
+type jsonPlacedDevice struct {
+	Name  string  `json:"name"`
+	X     float64 `json:"x"` // center, grid units
+	Y     float64 `json:"y"`
+	FlipX bool    `json:"flip_x,omitempty"`
+	FlipY bool    `json:"flip_y,omitempty"`
+}
+
+// WritePlacementJSON serializes placement p (for netlist n) to w.
+func (n *Netlist) WritePlacementJSON(w io.Writer, p *Placement) error {
+	if err := n.CheckSized(p); err != nil {
+		return err
+	}
+	out := jsonPlacement{
+		Design:  n.Name,
+		AreaUM2: AreaUM2(n.Area(p)),
+		HPWLUM:  LenUM(n.HPWL(p)),
+		Axes:    append([]float64(nil), p.AxisX...),
+	}
+	for i := range n.Devices {
+		out.Devices = append(out.Devices, jsonPlacedDevice{
+			Name: n.Devices[i].Name, X: p.X[i], Y: p.Y[i],
+			FlipX: p.FlipX[i], FlipY: p.FlipY[i],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

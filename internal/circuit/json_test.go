@@ -1,0 +1,138 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func jsonTestNetlist() *Netlist {
+	return &Netlist{
+		Name: "rt",
+		Devices: []Device{
+			{Name: "M1", Type: NMOS, W: 4, H: 2, Pins: []Pin{
+				{Name: "g", Offset: geom.Point{X: 1, Y: 1}},
+				{Name: "d", Offset: geom.Point{X: 3, Y: 1}},
+			}},
+			{Name: "M2", Type: NMOS, W: 4, H: 2, Pins: []Pin{
+				{Name: "g", Offset: geom.Point{X: 1, Y: 1}},
+			}},
+			{Name: "C1", Type: Cap, W: 3, H: 3, Pins: []Pin{
+				{Name: "p", Offset: geom.Point{X: 1, Y: 1.5}},
+			}},
+		},
+		Nets: []Net{
+			{Name: "a", Pins: []PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 0}}, Weight: 2},
+			{Name: "b", Pins: []PinRef{{Device: 0, Pin: 1}, {Device: 2, Pin: 0}}},
+		},
+		SymGroups:    []SymmetryGroup{{Pairs: [][2]int{{0, 1}}, Self: []int{2}}},
+		BottomAlign:  [][2]int{{0, 2}},
+		VCenterAlign: [][2]int{{1, 2}},
+		HOrders:      [][]int{{0, 1, 2}},
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	n := jsonTestNetlist()
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v\njson was:\n%s", err, buf.String())
+	}
+	if got.Name != n.Name || len(got.Devices) != len(n.Devices) || len(got.Nets) != len(n.Nets) {
+		t.Fatalf("structure mismatch: %+v", got)
+	}
+	for i := range n.Devices {
+		if got.Devices[i].Name != n.Devices[i].Name ||
+			got.Devices[i].Type != n.Devices[i].Type ||
+			got.Devices[i].W != n.Devices[i].W {
+			t.Errorf("device %d mismatch: %+v vs %+v", i, got.Devices[i], n.Devices[i])
+		}
+	}
+	if got.Nets[0].Weight != 2 {
+		t.Errorf("net weight lost: %+v", got.Nets[0])
+	}
+	if len(got.SymGroups) != 1 || got.SymGroups[0].Pairs[0] != [2]int{0, 1} || got.SymGroups[0].Self[0] != 2 {
+		t.Errorf("symmetry lost: %+v", got.SymGroups)
+	}
+	if got.BottomAlign[0] != [2]int{0, 2} || got.VCenterAlign[0] != [2]int{1, 2} {
+		t.Errorf("alignments lost")
+	}
+	if len(got.HOrders[0]) != 3 {
+		t.Errorf("orders lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"garbage", "{", "parsing"},
+		{"unknown field", `{"name":"x","bogus":1}`, "parsing"},
+		{"bad type", `{"name":"x","devices":[{"name":"a","type":"warp","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],"nets":[]}`, "unknown device type"},
+		{"dup device", `{"name":"x","devices":[
+			{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]},
+			{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],"nets":[]}`, "duplicate device"},
+		{"bad pin ref", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+			"nets":[{"name":"n","pins":["a.q"]}]}`, "no pin"},
+		{"bad net device", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+			"nets":[{"name":"n","pins":["zz.p"]}]}`, "not of the form"},
+		{"invalid netlist", `{"name":"x","devices":[{"name":"a","type":"nmos","w":-1,"h":1,"pins":[]}],"nets":[]}`, "non-positive"},
+	}
+	for _, tc := range cases {
+		_, err := ReadJSON(strings.NewReader(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted bad input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDottedDeviceNames(t *testing.T) {
+	// Device names containing dots must still resolve pin refs (longest
+	// device-name match wins).
+	j := `{"name":"x","devices":[
+		{"name":"x1.m","type":"nmos","w":2,"h":2,"pins":[{"name":"g","x":1,"y":1}]},
+		{"name":"x2","type":"nmos","w":2,"h":2,"pins":[{"name":"g","x":1,"y":1}]}],
+		"nets":[{"name":"n","pins":["x1.m.g","x2.g"]}]}`
+	n, err := ReadJSON(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Nets[0].Pins[0].Device != 0 || n.Nets[0].Pins[1].Device != 1 {
+		t.Errorf("pin resolution wrong: %+v", n.Nets[0].Pins)
+	}
+}
+
+func TestWritePlacementJSON(t *testing.T) {
+	n := jsonTestNetlist()
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1
+	p.X[1], p.Y[1] = 10, 1
+	p.FlipX[1] = true
+	var buf bytes.Buffer
+	if err := n.WritePlacementJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"design": "rt"`, `"name": "M1"`, `"flip_x": true`, `"area_um2"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("placement JSON missing %q:\n%s", want, s)
+		}
+	}
+	// Size mismatch is rejected.
+	p.X = p.X[:1]
+	if err := n.WritePlacementJSON(&buf, p); err == nil {
+		t.Error("accepted wrong-sized placement")
+	}
+}

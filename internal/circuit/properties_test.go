@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randNetlist builds a random netlist + placement from a seed.
+func randNetlist(seed int64) (*Netlist, *Placement) {
+	rng := rand.New(rand.NewSource(seed))
+	nd := 3 + rng.Intn(8)
+	n := &Netlist{Name: "prop"}
+	for i := 0; i < nd; i++ {
+		w := 1 + rng.Float64()*8
+		h := 1 + rng.Float64()*8
+		n.Devices = append(n.Devices, Device{
+			Name: "d", W: w, H: h,
+			Pins: []Pin{
+				{Name: "a", Offset: geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}},
+				{Name: "b", Offset: geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}},
+			},
+		})
+	}
+	ne := 2 + rng.Intn(5)
+	for e := 0; e < ne; e++ {
+		k := 2 + rng.Intn(3)
+		var pins []PinRef
+		for j := 0; j < k; j++ {
+			pins = append(pins, PinRef{Device: rng.Intn(nd), Pin: rng.Intn(2)})
+		}
+		n.Nets = append(n.Nets, Net{Name: "n", Pins: pins})
+	}
+	p := NewPlacement(n)
+	for i := range p.X {
+		p.X[i] = rng.Float64() * 100
+		p.Y[i] = rng.Float64() * 100
+		p.FlipX[i] = rng.Intn(2) == 0
+		p.FlipY[i] = rng.Intn(2) == 0
+	}
+	return n, p
+}
+
+// Property: HPWL and bounding-box area are translation invariant.
+func TestHPWLTranslationInvariance(t *testing.T) {
+	f := func(seed int64, dxRaw, dyRaw float64) bool {
+		n, p := randNetlist(seed)
+		dx := math.Mod(dxRaw, 1e4)
+		dy := math.Mod(dyRaw, 1e4)
+		if math.IsNaN(dx) || math.IsNaN(dy) {
+			return true
+		}
+		h0 := n.HPWL(p)
+		a0 := n.Area(p)
+		for i := range p.X {
+			p.X[i] += dx
+			p.Y[i] += dy
+		}
+		return math.Abs(n.HPWL(p)-h0) < 1e-6*(1+h0) && math.Abs(n.Area(p)-a0) < 1e-6*(1+a0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping a device twice restores every pin position exactly.
+func TestFlipInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		n, p := randNetlist(seed)
+		for i := range n.Devices {
+			for pi := range n.Devices[i].Pins {
+				pr := PinRef{Device: i, Pin: pi}
+				before := n.PinPos(p, pr)
+				p.FlipX[i] = !p.FlipX[i]
+				p.FlipX[i] = !p.FlipX[i]
+				p.FlipY[i] = !p.FlipY[i]
+				p.FlipY[i] = !p.FlipY[i]
+				if n.PinPos(p, pr) != before {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping never changes HPWL bounds beyond the device extents —
+// specifically, pin positions stay inside the device rect.
+func TestFlippedPinsStayInsideFootprint(t *testing.T) {
+	f := func(seed int64) bool {
+		n, p := randNetlist(seed)
+		for i := range n.Devices {
+			r := n.DeviceRect(p, i)
+			for pi := range n.Devices[i].Pins {
+				pt := n.PinPos(p, PinRef{Device: i, Pin: pi})
+				if !r.Contains(pt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent and preserves HPWL and area.
+func TestNormalizeIdempotentAndMetricPreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		n, p := randNetlist(seed)
+		h0 := n.HPWL(p)
+		a0 := n.Area(p)
+		n.Normalize(p)
+		if math.Abs(n.HPWL(p)-h0) > 1e-6*(1+h0) || math.Abs(n.Area(p)-a0) > 1e-6*(1+a0) {
+			return false
+		}
+		x0 := append([]float64(nil), p.X...)
+		n.Normalize(p)
+		for i := range x0 {
+			if math.Abs(p.X[i]-x0[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TotalOverlap is zero iff CheckLegal reports no overlaps (with
+// tolerance zero on generic placements).
+func TestOverlapConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		n, p := randNetlist(seed)
+		rep := n.CheckLegal(p, 1e-9)
+		ov := n.TotalOverlap(p)
+		if ov > 1e-6 && len(rep.Overlaps) == 0 {
+			return false
+		}
+		if ov == 0 && len(rep.Overlaps) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON roundtrip preserves HPWL exactly for valid netlists.
+func TestJSONRoundtripPreservesMetrics(t *testing.T) {
+	f := func(seed int64) bool {
+		n, p := randNetlist(seed)
+		// Names must be unique for JSON.
+		for i := range n.Devices {
+			n.Devices[i].Name = string(rune('A'+i%26)) + string(rune('a'+(i/26)%26))
+		}
+		buf := &bytes.Buffer{}
+		if err := n.WriteJSON(buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(buf)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.HPWL(p)-n.HPWL(p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

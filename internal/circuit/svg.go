@@ -1,0 +1,67 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// svgPalette assigns a fill color per device type.
+var svgPalette = map[DeviceType]string{
+	NMOS:  "#7eb0d5",
+	PMOS:  "#fd7f6f",
+	Cap:   "#b2e061",
+	Res:   "#ffee65",
+	Ind:   "#bd7ebe",
+	Other: "#cccccc",
+}
+
+// WriteSVG renders the placement as a standalone SVG document: device
+// rectangles colored by type and labeled by name, pins as dots, symmetry
+// axes as dashed lines. Intended for eyeballing placer results.
+func (n *Netlist) WriteSVG(w io.Writer, p *Placement) error {
+	if err := n.CheckSized(p); err != nil {
+		return err
+	}
+	bb := n.BoundingBox(p)
+	const margin = 10.0
+	width := bb.W() + 2*margin
+	height := bb.H() + 2*margin
+	// SVG y grows downward; flip the layout vertically.
+	toX := func(x float64) float64 { return x - bb.Lo.X + margin }
+	toY := func(y float64) float64 { return height - (y - bb.Lo.Y + margin) }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.1f %.1f" width="%.0f" height="%.0f">`+"\n",
+		width, height, width*2, height*2); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="#ffffff"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999" stroke-width="0.5"/>`+"\n",
+		toX(bb.Lo.X), toY(bb.Hi.Y), bb.W(), bb.H())
+
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		r := n.DeviceRect(p, i)
+		color := svgPalette[d.Type]
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#333" stroke-width="0.4"/>`+"\n",
+			toX(r.Lo.X), toY(r.Hi.Y), r.W(), r.H(), color)
+		fontSize := r.W() / float64(len(d.Name)+1) * 1.4
+		if fontSize > r.H()*0.5 {
+			fontSize = r.H() * 0.5
+		}
+		fmt.Fprintf(w, `<text x="%.2f" y="%.2f" font-size="%.2f" font-family="monospace" text-anchor="middle">%s</text>`+"\n",
+			toX(p.X[i]), toY(p.Y[i])+fontSize/3, fontSize, d.Name)
+		for pi := range d.Pins {
+			pt := n.PinPos(p, PinRef{Device: i, Pin: pi})
+			fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="#222"/>`+"\n",
+				toX(pt.X), toY(pt.Y), r.W()*0.03+0.4)
+		}
+	}
+	for gi := range n.SymGroups {
+		ax := p.AxisX[gi]
+		fmt.Fprintf(w, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#c00" stroke-width="0.5" stroke-dasharray="3,2"/>`+"\n",
+			toX(ax), toY(bb.Lo.Y), toX(ax), toY(bb.Hi.Y))
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

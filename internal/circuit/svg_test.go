@@ -1,0 +1,39 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	n := jsonTestNetlist()
+	p := NewPlacement(n)
+	p.X[0], p.Y[0] = 2, 1
+	p.X[1], p.Y[1] = 10, 1
+	p.X[2], p.Y[2] = 6, 8
+	p.AxisX[0] = 6
+	var buf bytes.Buffer
+	if err := n.WriteSVG(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "M1", "M2", "C1", "stroke-dasharray"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One rect per device plus background and outline.
+	if got := strings.Count(s, "<rect"); got != len(n.Devices)+2 {
+		t.Errorf("rect count = %d, want %d", got, len(n.Devices)+2)
+	}
+	// Pins drawn as circles.
+	if got := strings.Count(s, "<circle"); got != 4 {
+		t.Errorf("circle count = %d, want 4 pins", got)
+	}
+	// Size mismatch rejected.
+	p.X = p.X[:1]
+	if err := n.WriteSVG(&buf, p); err == nil {
+		t.Error("accepted wrong-sized placement")
+	}
+}

@@ -1,0 +1,471 @@
+// Package core is the public entry point of the library: one-call analog
+// placement flows for the three placers the paper compares —
+//
+//   - MethodSA:      simulated annealing over symmetry-island sequence pairs
+//   - MethodPrev:    the previous analytical work [11] (NTUplace3-style GP +
+//     two-stage LP detailed placement)
+//   - MethodEPlaceA: the paper's ePlace-A (electrostatic GP + integrated ILP
+//     detailed placement)
+//
+// and their performance-driven variants (performance-driven SA [19], the
+// Perf* extension of [11], and ePlace-AP), enabled by attaching a trained
+// GNN performance model to Options.Perf. Package core also provides GNN
+// training-set generation, so a caller can go from a netlist plus a
+// performance model to a performance-driven placement without touching the
+// internals.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/circuit"
+	"repro/internal/detailed"
+	"repro/internal/eplacea"
+	"repro/internal/gnn"
+	"repro/internal/perfmodel"
+	"repro/internal/prevwork"
+)
+
+// Method selects a placement algorithm.
+type Method int
+
+// The three placers compared throughout the paper.
+const (
+	MethodSA Method = iota
+	MethodPrev
+	MethodEPlaceA
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodSA:
+		return "simulated-annealing"
+	case MethodPrev:
+		return "prev-analytical[11]"
+	default:
+		return "eplace-a"
+	}
+}
+
+// PerfTerm attaches a trained GNN performance model, turning each method
+// into its performance-driven variant.
+type PerfTerm struct {
+	Model *gnn.Model
+	// Weight is the performance term's relative weight α (default 0.5 for
+	// the analytical placers, 0.6 for SA cost).
+	Weight float64
+}
+
+// Options configures a placement run. The zero value gives the defaults
+// used in the paper-reproduction experiments.
+type Options struct {
+	Seed int64
+
+	// AreaWeight biases the area/wirelength tradeoff: it scales the GP
+	// area term for ePlace-A and the SA area cost weight. Zero keeps each
+	// method's default. (The [11] baseline has no explicit area term —
+	// faithfully to the paper.)
+	AreaWeight float64
+	// Mu scales the detailed-placement area objective (Eq. 4a, ePlace-A
+	// integrated mode only; default 1).
+	Mu float64
+
+	// Perf switches on the performance-driven variant.
+	Perf *PerfTerm
+
+	// Portfolio is the number of GP starts ePlace-A tries (varying seed and
+	// region utilization), keeping the best area×HPWL result. Global
+	// placement is cheap enough that a small portfolio still leaves the
+	// analytical flow far faster than annealing. Default 3; set 1 for a
+	// single run.
+	Portfolio int
+
+	// Advanced per-stage overrides (optional).
+	GP   *eplacea.Options
+	Prev *prevwork.Options
+	SA   *anneal.Options
+	DP   *detailed.Options
+}
+
+// Result is the outcome of a full placement flow.
+type Result struct {
+	Method    Method
+	Placement *circuit.Placement
+
+	AreaUM2 float64 // bounding-box area, µm²
+	HPWLUM  float64 // weighted HPWL, µm
+	Runtime time.Duration
+
+	GPIterations int // analytical methods
+	ILPNodes     int // ePlace-A detailed placement
+	SAProposals  int // simulated annealing
+	Legal        bool
+}
+
+// Place runs the selected method end to end: global placement (or
+// annealing) plus legalization/detailed placement, returning a legal
+// placement and its quality metrics.
+func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Method: method}
+	switch method {
+	case MethodSA:
+		saOpt := anneal.Options{Seed: opt.Seed}
+		if opt.SA != nil {
+			saOpt = *opt.SA
+			if saOpt.Seed == 0 {
+				saOpt.Seed = opt.Seed
+			}
+		}
+		if opt.AreaWeight > 0 {
+			saOpt.AreaWeight = opt.AreaWeight
+			saOpt.WLWeight = 1 - math.Min(opt.AreaWeight, 0.9)
+		}
+		if opt.Perf != nil {
+			saOpt.Perf = opt.Perf.Model
+			saOpt.PerfWeight = opt.Perf.Weight
+			if saOpt.PerfWeight == 0 {
+				saOpt.PerfWeight = 0.6
+			}
+		}
+		p, stats, err := anneal.Place(n, saOpt)
+		if err != nil {
+			return nil, err
+		}
+		res.Placement = p
+		res.SAProposals = stats.Proposals
+
+	case MethodPrev:
+		gpOpt := prevwork.Options{Seed: opt.Seed}
+		if opt.Prev != nil {
+			gpOpt = *opt.Prev
+			if gpOpt.Seed == 0 {
+				gpOpt.Seed = opt.Seed
+			}
+		}
+		gp, err := prevwork.PlaceExtra(n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
+		if err != nil {
+			return nil, err
+		}
+		res.GPIterations = gp.Iterations
+		dpOpt := detailed.Options{Mode: detailed.ModeTwoStageLP}
+		if opt.DP != nil {
+			dpOpt = *opt.DP
+			dpOpt.Mode = detailed.ModeTwoStageLP
+		}
+		dp, err := detailed.Place(n, gp.Placement, dpOpt)
+		if err != nil {
+			return nil, err
+		}
+		res.Placement = dp.Placement
+
+	case MethodEPlaceA:
+		portfolio := opt.Portfolio
+		if portfolio == 0 {
+			portfolio = 3
+		}
+		baseGP := eplacea.Options{Seed: opt.Seed}
+		if opt.GP != nil {
+			baseGP = *opt.GP
+			if baseGP.Seed == 0 {
+				baseGP.Seed = opt.Seed
+			}
+		}
+		if opt.AreaWeight > 0 {
+			baseGP.AreaWeight = opt.AreaWeight
+		}
+		dpOpt := detailed.Options{Mode: detailed.ModeIntegratedILP, Mu: opt.Mu}
+		if opt.DP != nil {
+			dpOpt = *opt.DP
+			dpOpt.Mode = detailed.ModeIntegratedILP
+			if dpOpt.Mu == 0 {
+				dpOpt.Mu = opt.Mu
+			}
+		}
+		// Portfolio variants diversify the density schedule: a standard
+		// run, a roomier region with a gentler multiplier ramp, and a slow
+		// ramp that preserves net locality on large circuits. The
+		// performance-driven flow additionally varies the performance
+		// weight α, which the paper itself treats as a sweep parameter.
+		variants := []eplacea.Options{
+			{},
+			{Util: 0.5, Lambda0: 1e-4, LambdaGrowth: 1.025, MaxIter: 1500},
+			{Util: 0.8, Lambda0: 1e-4, LambdaGrowth: 1.015, MaxIter: 2000},
+		}
+		perfWeights := []float64{0.3, 0.15, 0.5}
+		runs := portfolio
+		if opt.Perf != nil && opt.GP == nil {
+			// The performance-driven portfolio also evaluates the full set
+			// of conventional candidates: if the model does not prefer a
+			// guided result, the flow keeps an unguided one rather than
+			// trading real quality for gradient noise. (The paper's
+			// performance-driven analytical runtimes are likewise an order
+			// of magnitude above the conventional ones.)
+			runs += portfolio
+		}
+		type candidate struct {
+			placement *circuit.Placement
+			quality   float64 // area × HPWL
+			phi       float64
+			guided    bool // produced with the performance gradient active
+		}
+		var cands []candidate
+		bestScore := math.Inf(1)
+		for v := 0; v < runs; v++ {
+			gpOpt := baseGP
+			gpOpt.Seed = baseGP.Seed + int64(101*(v%portfolio))
+			if opt.GP == nil {
+				vr := variants[v%len(variants)]
+				if vr.Util != 0 {
+					gpOpt.Util = vr.Util
+					gpOpt.Lambda0 = vr.Lambda0
+					gpOpt.LambdaGrowth = vr.LambdaGrowth
+					gpOpt.MaxIter = vr.MaxIter
+				}
+			}
+			perfTerm := opt.Perf
+			if v >= portfolio {
+				perfTerm = nil // the conventional candidate
+			} else if perfTerm != nil && perfTerm.Weight == 0 {
+				pt := *perfTerm
+				pt.Weight = perfWeights[v%len(perfWeights)]
+				perfTerm = &pt
+			}
+			gp, err := eplacea.PlaceExtra(n, gpOpt, perfExtra(perfTerm, &gpOpt.ExtraWeight))
+			if err != nil {
+				return nil, err
+			}
+			dp, err := detailed.Place(n, gp.Placement, dpOpt)
+			if err != nil {
+				return nil, err
+			}
+			res.GPIterations += gp.Iterations
+			res.ILPNodes += dp.ILPNodes
+			quality := dp.Area * dp.HPWL
+			if opt.Perf != nil {
+				// Candidate quality uses the UNWEIGHTED wirelength: the
+				// objective's net weights deliberately de-emphasize some
+				// nets, but a performance-driven selection must not share
+				// that blind spot.
+				var raw float64
+				for e := range n.Nets {
+					raw += n.NetHPWL(dp.Placement, e)
+				}
+				cands = append(cands, candidate{
+					placement: dp.Placement,
+					quality:   dp.Area * raw,
+					phi:       opt.Perf.Model.Prob(n, dp.Placement),
+					guided:    perfTerm != nil,
+				})
+				continue
+			}
+			// Conventional runs pick the best area×wirelength product.
+			if quality < bestScore {
+				bestScore = quality
+				res.Placement = dp.Placement
+			}
+		}
+		if opt.Perf != nil {
+			// Performance-driven selection: the model's failure probability
+			// Φ decides, softly penalized by the geometric premium over the
+			// best candidate — a guided layout that pays a large area×HPWL
+			// cost for a tiny Φ edge is usually the model being fooled
+			// off-distribution, not a real performance win.
+			best := 0
+			for i := 1; i < len(cands); i++ {
+				c := cands[i]
+				b := cands[best]
+				switch {
+				case c.phi < b.phi-1e-3:
+					best = i
+				case c.phi <= b.phi+1e-3 && c.guided != b.guided:
+					// Φ-tie: prefer the candidate the performance gradient
+					// shaped — the model judged both safe, and the guided
+					// one additionally descended the performance objective.
+					if c.guided {
+						best = i
+					}
+				case c.phi <= b.phi+1e-3 && c.quality < b.quality:
+					best = i // same guidance status: keep better geometry
+				}
+			}
+			res.Placement = cands[best].placement
+		}
+
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", int(method))
+	}
+
+	res.Runtime = time.Since(start)
+	res.AreaUM2 = circuit.AreaUM2(n.Area(res.Placement))
+	res.HPWLUM = circuit.LenUM(n.HPWL(res.Placement))
+	res.Legal = n.CheckLegal(res.Placement, 1e-6).OK()
+	return res, nil
+}
+
+// perfExtra adapts a PerfTerm into the analytical GP extra-objective hook,
+// and propagates its weight into the GP's calibrated ExtraWeight.
+func perfExtra(pt *PerfTerm, extraWeight *float64) eplacea.ExtraGrad {
+	if pt == nil {
+		return nil
+	}
+	if pt.Weight > 0 {
+		*extraWeight = pt.Weight
+	}
+	m := pt.Model
+	return func(p *circuit.Placement, gx, gy []float64) float64 {
+		return m.ProbGrad(p, gx, gy)
+	}
+}
+
+// TrainOptions configures TrainPerfGNN.
+type TrainOptions struct {
+	Seed    int64
+	Samples int // training placements to generate (default 1200)
+	Epochs  int // training epochs (default 60)
+	// Anchors is the number of quick placer runs whose (jittered) layouts
+	// join the dataset, teaching the model to discriminate among
+	// placer-quality layouts rather than only rows-vs-random (default 10;
+	// set negative to disable).
+	Anchors int
+}
+
+// TrainPerfGNN generates a labeled dataset for netlist n — half
+// near-compact layouts (jittered greedy rows of varying aspect, the region
+// a real placer lands in) and half random spreads — labeled by whether the
+// performance model's FOM falls below threshold, and trains a GNN on it,
+// mirroring the paper's >1000-sample per-circuit training setup.
+//
+// Passing threshold <= 0 selects it automatically as the median FOM of the
+// near-compact sub-population, which centers the learned decision boundary
+// where performance-driven placement actually operates.
+func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
+	opt TrainOptions) (*gnn.Model, *gnn.TrainStats, error) {
+
+	if opt.Samples == 0 {
+		opt.Samples = 1200
+	}
+	if opt.Epochs == 0 {
+		opt.Epochs = 60
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	scale := math.Sqrt(n.TotalDeviceArea())
+	model := gnn.New(n, scale*2, opt.Seed+1)
+	model.SetMatchedNets(pm.MatchedNets)
+
+	if opt.Anchors == 0 {
+		opt.Anchors = 10
+	}
+	samples := make([]gnn.Sample, 0, opt.Samples)
+	foms := make([]float64, 0, opt.Samples)
+	var compactFOMs []float64
+	p := circuit.NewPlacement(n)
+
+	// Placer-anchored samples: quick runs of the fast analytical baseline
+	// plus small jitters of each, so the dataset covers the region where
+	// performance-driven placement actually operates.
+	if opt.Anchors > 0 {
+		addSample := func(q *circuit.Placement) {
+			f := pm.FOM(n, q)
+			foms = append(foms, f)
+			compactFOMs = append(compactFOMs, f)
+			samples = append(samples, gnn.Sample{
+				X: append([]float64(nil), q.X...),
+				Y: append([]float64(nil), q.Y...),
+			})
+		}
+		for a := 0; a < opt.Anchors; a++ {
+			res, err := Place(n, MethodPrev, Options{
+				Seed: opt.Seed + int64(1000+a),
+				Prev: &prevwork.Options{Seed: opt.Seed + int64(1000+a), Util: 0.35 + 0.07*float64(a%5)},
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: training anchor %d: %w", a, err)
+			}
+			addSample(res.Placement)
+			for j := 0; j < 4; j++ {
+				q := res.Placement.Clone()
+				jit := scale * (0.01 + 0.03*float64(j))
+				for i := range q.X {
+					q.X[i] += rng.NormFloat64() * jit
+					q.Y[i] += rng.NormFloat64() * jit
+				}
+				n.ResolveAxes(q)
+				addSample(q)
+			}
+		}
+	}
+
+	for k := len(samples); k < opt.Samples; k++ {
+		compact := k%2 == 0
+		if compact {
+			rowLayout(n, p, 1.0+rng.Float64()*0.8)
+			jitter := scale * (0.01 + rng.Float64()*0.14)
+			for i := range p.X {
+				p.X[i] += rng.NormFloat64() * jitter
+				p.Y[i] += rng.NormFloat64() * jitter
+			}
+		} else {
+			spread := scale * (0.9 + rng.Float64()*2.2)
+			for i := range p.X {
+				p.X[i] = rng.Float64() * spread
+				p.Y[i] = rng.Float64() * spread
+			}
+		}
+		n.ResolveAxes(p)
+		f := pm.FOM(n, p)
+		foms = append(foms, f)
+		if compact {
+			compactFOMs = append(compactFOMs, f)
+		}
+		samples = append(samples, gnn.Sample{
+			X: append([]float64(nil), p.X...),
+			Y: append([]float64(nil), p.Y...),
+		})
+	}
+	if threshold <= 0 {
+		sorted := append([]float64(nil), compactFOMs...)
+		sort.Float64s(sorted)
+		threshold = sorted[len(sorted)/2]
+	}
+	var bad int
+	for i := range samples {
+		samples[i].Bad = foms[i] < threshold
+		if samples[i].Bad {
+			bad++
+		}
+	}
+	if bad == 0 || bad == len(samples) {
+		return nil, nil, fmt.Errorf("core: degenerate training labels for %s (bad=%d of %d; adjust threshold %.2f)",
+			n.Name, bad, len(samples), threshold)
+	}
+	stats, err := model.Train(samples, gnn.TrainOptions{Seed: opt.Seed + 2, Epochs: opt.Epochs})
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, stats, nil
+}
+
+// rowLayout writes a greedy row packing into p with the given width factor
+// (relative to the square-root area side).
+func rowLayout(n *circuit.Netlist, p *circuit.Placement, widthFactor float64) {
+	side := math.Sqrt(n.TotalDeviceArea()) * widthFactor
+	var x, y, rowH float64
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		if x+d.W > side && x > 0 {
+			x = 0
+			y += rowH
+			rowH = 0
+		}
+		p.X[i] = x + d.W/2
+		p.Y[i] = y + d.H/2
+		x += d.W
+		rowH = math.Max(rowH, d.H)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/testcircuits"
+)
+
+// fastSA keeps SA test runs quick.
+func fastSA(seed int64) *anneal.Options {
+	return &anneal.Options{Seed: seed, Moves: 6000, Restarts: 2}
+}
+
+func TestAllMethodsLegalOnAdder(t *testing.T) {
+	c, err := testcircuits.ByName("Adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodSA, MethodPrev, MethodEPlaceA} {
+		res, err := Place(c.Netlist, m, Options{Seed: 1, SA: fastSA(1)})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Legal {
+			t.Errorf("%v: illegal placement: %v", m, c.Netlist.CheckLegal(res.Placement, 1e-6).Err())
+		}
+		if res.AreaUM2 <= 0 || res.HPWLUM <= 0 {
+			t.Errorf("%v: degenerate metrics %+v", m, res)
+		}
+		if res.Runtime <= 0 {
+			t.Errorf("%v: runtime not recorded", m)
+		}
+	}
+}
+
+func TestAllMethodsLegalOnCCOTA(t *testing.T) {
+	c, err := testcircuits.ByName("CC-OTA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodSA, MethodPrev, MethodEPlaceA} {
+		res, err := Place(c.Netlist, m, Options{Seed: 2, SA: fastSA(2)})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Legal {
+			t.Errorf("%v: illegal placement: %v", m, c.Netlist.CheckLegal(res.Placement, 1e-6).Err())
+		}
+	}
+}
+
+func TestMethodDiagnosticsRecorded(t *testing.T) {
+	c, _ := testcircuits.ByName("Adder")
+	sa, err := Place(c.Netlist, MethodSA, Options{Seed: 1, SA: fastSA(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.SAProposals == 0 {
+		t.Error("SA proposals not recorded")
+	}
+	ep, err := Place(c.Netlist, MethodEPlaceA, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.GPIterations == 0 {
+		t.Error("ePlace-A GP iterations not recorded")
+	}
+	pv, err := Place(c.Netlist, MethodPrev, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.GPIterations == 0 {
+		t.Error("prev GP iterations not recorded")
+	}
+}
+
+func TestAreaWeightTradesOff(t *testing.T) {
+	c, _ := testcircuits.ByName("CC-OTA")
+	low, err := Place(c.Netlist, MethodEPlaceA, Options{Seed: 3, AreaWeight: 0.08, Mu: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Place(c.Netlist, MethodEPlaceA, Options{Seed: 3, AreaWeight: 1.2, Mu: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AreaUM2 > low.AreaUM2*1.1 {
+		t.Errorf("heavier area weight did not reduce area: %.1f vs %.1f", high.AreaUM2, low.AreaUM2)
+	}
+}
+
+func TestTrainPerfGNN(t *testing.T) {
+	c, _ := testcircuits.ByName("CC-OTA")
+	model, stats, err := TrainPerfGNN(c.Netlist, c.Perf, c.Threshold,
+		TrainOptions{Seed: 4, Samples: 400, Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+	if stats.ValAccuracy < 0.7 {
+		t.Errorf("validation accuracy %.2f < 0.7", stats.ValAccuracy)
+	}
+}
+
+func TestPerformanceDrivenImprovesFOM(t *testing.T) {
+	c, _ := testcircuits.ByName("CC-OTA")
+	model, _, err := TrainPerfGNN(c.Netlist, c.Perf, c.Threshold,
+		TrainOptions{Seed: 5, Samples: 500, Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := Place(c.Netlist, MethodEPlaceA, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := Place(c.Netlist, MethodEPlaceA, Options{Seed: 6, Perf: &PerfTerm{Model: model}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perf.Legal {
+		t.Fatal("performance-driven placement illegal")
+	}
+	fConv := c.Perf.FOM(c.Netlist, conv.Placement)
+	fPerf := c.Perf.FOM(c.Netlist, perf.Placement)
+	if fPerf < fConv-0.02 {
+		t.Errorf("performance-driven FOM %.3f clearly worse than conventional %.3f", fPerf, fConv)
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	c, _ := testcircuits.ByName("Adder")
+	if _, err := Place(c.Netlist, Method(99), Options{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodSA.String() == "" || MethodPrev.String() == "" || MethodEPlaceA.String() == "" {
+		t.Error("empty method names")
+	}
+}
+
+func TestDegenerateThresholdRejected(t *testing.T) {
+	c, _ := testcircuits.ByName("Adder")
+	if _, _, err := TrainPerfGNN(c.Netlist, c.Perf, 0.0001,
+		TrainOptions{Seed: 1, Samples: 50, Epochs: 1}); err == nil {
+		t.Error("expected degenerate-labels error for absurd threshold")
+	}
+}

@@ -1,0 +1,200 @@
+package density
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/geom"
+)
+
+// Bell is the NTUplace3-style smoothed bin-density model used by the
+// previous analytical work [11]: each device spreads its area into nearby
+// bins through a C¹ bell-shaped kernel, and the penalty is the squared
+// excess of bin density over a target. This is the Overlap(v) smoothing the
+// baseline global placer optimizes with conjugate gradient.
+type Bell struct {
+	m      int
+	region geom.Rect
+	binW   float64
+	binH   float64
+	target float64 // target density ratio in [0, 1]
+
+	dens  []float64 // smoothed area per bin
+	cNorm []float64 // per-device normalization so total spread equals area
+}
+
+// NewBell creates an m×m bell-shaped density grid over region with the
+// given target density ratio (typically ~1 for macro-style analog
+// placement).
+func NewBell(m int, region geom.Rect, target float64) *Bell {
+	b := &Bell{
+		m:      m,
+		target: target,
+		dens:   make([]float64, m*m),
+	}
+	b.SetRegion(region)
+	return b
+}
+
+// SetRegion re-targets the grid onto a new placement region.
+func (b *Bell) SetRegion(region geom.Rect) {
+	b.region = region
+	b.binW = region.W() / float64(b.m)
+	b.binH = region.H() / float64(b.m)
+}
+
+// bell evaluates the C¹ bell kernel for half-width w2 (= device dim / 2)
+// and bin size r at center distance d, plus its derivative with respect to
+// d. The kernel is 1 at d = 0, rolls off quadratically, and reaches zero
+// with zero slope at d = w2 + 2r (NTUplace3's px function).
+func bell(d, w2, r float64) (val, deriv float64) {
+	d1 := w2 + r
+	d2 := w2 + 2*r
+	ad := math.Abs(d)
+	sign := 1.0
+	if d < 0 {
+		sign = -1
+	}
+	switch {
+	case ad <= d1:
+		a := 1 / (d1 * d2)
+		return 1 - a*ad*ad, -2 * a * ad * sign
+	case ad <= d2:
+		bb := 1 / (r * d2)
+		t := ad - d2
+		return bb * t * t, 2 * bb * t * sign
+	default:
+		return 0, 0
+	}
+}
+
+// Update recomputes the smoothed density field for placement p, including
+// the per-device normalization constants.
+func (b *Bell) Update(n *circuit.Netlist, p *circuit.Placement) {
+	m := b.m
+	for i := range b.dens {
+		b.dens[i] = 0
+	}
+	if len(b.cNorm) != len(n.Devices) {
+		b.cNorm = make([]float64, len(n.Devices))
+	}
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		// First pass: raw kernel sum for normalization.
+		var sum float64
+		b.visit(n, p, i, func(bx, by int, px, py, _, _ float64) {
+			sum += px * py
+		})
+		if sum <= 0 {
+			b.cNorm[i] = 0
+			continue
+		}
+		b.cNorm[i] = d.Area() / sum
+		c := b.cNorm[i]
+		b.visit(n, p, i, func(bx, by int, px, py, _, _ float64) {
+			b.dens[by*m+bx] += c * px * py
+		})
+	}
+}
+
+// visit calls fn for every bin within device i's kernel support with the
+// per-axis kernel values and derivatives. Kernel mass that would land
+// outside the region is folded into the nearest edge bin (with the kernel
+// still evaluated at the virtual bin center), so the region boundary piles
+// up density and repels devices instead of silently swallowing their mass —
+// without this, boundaries act as density sinks and the placement drifts
+// into a wall.
+func (b *Bell) visit(n *circuit.Netlist, p *circuit.Placement, i int,
+	fn func(bx, by int, px, py, dpx, dpy float64)) {
+	d := &n.Devices[i]
+	cx, cy := p.X[i], p.Y[i]
+	suppX := d.W/2 + 2*b.binW
+	suppY := d.H/2 + 2*b.binH
+	x0 := int(math.Floor((cx - suppX - b.region.Lo.X) / b.binW))
+	x1 := int(math.Ceil((cx + suppX - b.region.Lo.X) / b.binW))
+	y0 := int(math.Floor((cy - suppY - b.region.Lo.Y) / b.binH))
+	y1 := int(math.Ceil((cy + suppY - b.region.Lo.Y) / b.binH))
+	clampIdx := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= b.m {
+			return b.m - 1
+		}
+		return v
+	}
+	for by := y0; by < y1; by++ {
+		bcy := b.region.Lo.Y + (float64(by)+0.5)*b.binH
+		py, dpy := bell(bcy-cy, d.H/2, b.binH)
+		if py == 0 {
+			continue
+		}
+		for bx := x0; bx < x1; bx++ {
+			bcx := b.region.Lo.X + (float64(bx)+0.5)*b.binW
+			px, dpx := bell(bcx-cx, d.W/2, b.binW)
+			if px == 0 {
+				continue
+			}
+			fn(clampIdx(bx), clampIdx(by), px, py, dpx, dpy)
+		}
+	}
+}
+
+// Penalty returns the squared-excess density penalty
+// Σ_b max(0, D_b - target·binArea)² from the last Update.
+func (b *Bell) Penalty() float64 {
+	t := b.target * b.binW * b.binH
+	var s float64
+	for _, d := range b.dens {
+		if d > t {
+			e := d - t
+			s += e * e
+		}
+	}
+	return s
+}
+
+// AddGrad accumulates the penalty gradient with respect to device centers
+// into gradX/gradY, using the kernel derivatives and the last Update's
+// density field (normalization constants treated as locally constant, the
+// standard NTUplace3 approximation). Note the kernel derivative with
+// respect to the device center is the negative of the derivative with
+// respect to bin-center distance.
+func (b *Bell) AddGrad(n *circuit.Netlist, p *circuit.Placement, gradX, gradY []float64) {
+	m := b.m
+	t := b.target * b.binW * b.binH
+	for i := range n.Devices {
+		c := b.cNorm[i]
+		if c == 0 {
+			continue
+		}
+		var gx, gy float64
+		b.visit(n, p, i, func(bx, by int, px, py, dpx, dpy float64) {
+			e := b.dens[by*m+bx] - t
+			if e <= 0 {
+				return
+			}
+			gx += 2 * e * c * (-dpx) * py
+			gy += 2 * e * c * px * (-dpy)
+		})
+		gradX[i] += gx
+		gradY[i] += gy
+	}
+}
+
+// Overflow returns the fraction of total device area sitting in bins above
+// the target density, mirroring Electrostatic.Overflow for stop criteria.
+func (b *Bell) Overflow(n *circuit.Netlist) float64 {
+	t := b.target * b.binW * b.binH
+	var over float64
+	for _, d := range b.dens {
+		if d > t {
+			over += d - t
+		}
+	}
+	total := n.TotalDeviceArea()
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}

@@ -1,0 +1,337 @@
+// Package density implements the two smoothed cell-overlap models compared
+// in the paper: the electrostatics-based potential-energy model of ePlace
+// (density as charge, overlap penalty as system energy, solved spectrally
+// via DCT/DST transforms) used by ePlace-A, and the bell-shaped bin-density
+// penalty of NTUplace3 used by the previous analytical work [11].
+package density
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/fft"
+	"repro/internal/geom"
+)
+
+// Electrostatic is the ePlace density model: devices are positive charges
+// whose density field ρ drives a Poisson equation ∇²ψ = -ρ; the overlap
+// penalty N(v) is the system potential energy and its gradient is the
+// electric field ξ = -∇ψ scaled by device charge. The Poisson solve is
+// spectral: a 2-D DCT of ρ, per-frequency scaling, and inverse cosine/sine
+// reconstructions for ψ, ξx, ξy.
+type Electrostatic struct {
+	m      int
+	region geom.Rect
+	binW   float64
+	binH   float64
+
+	plan *fft.Plan
+	rho  []float64 // device area density per bin (area units / bin area)
+	auv  []float64 // DCT coefficients of neutralized rho
+	psi  []float64 // potential per bin
+	ex   []float64 // field x-component per bin
+	ey   []float64 // field y-component per bin
+
+	coefBuf []float64 // scratch: scaled coefficients
+	rowBuf  []float64
+	rowOut  []float64
+}
+
+// NewElectrostatic creates an m×m electrostatic grid (m a power of two)
+// covering region.
+func NewElectrostatic(m int, region geom.Rect) *Electrostatic {
+	g := &Electrostatic{
+		m:       m,
+		plan:    fft.NewPlan(m),
+		rho:     make([]float64, m*m),
+		auv:     make([]float64, m*m),
+		psi:     make([]float64, m*m),
+		ex:      make([]float64, m*m),
+		ey:      make([]float64, m*m),
+		coefBuf: make([]float64, m*m),
+		rowBuf:  make([]float64, m),
+		rowOut:  make([]float64, m),
+	}
+	g.SetRegion(region)
+	return g
+}
+
+// SetRegion re-targets the grid onto a new placement region.
+func (g *Electrostatic) SetRegion(region geom.Rect) {
+	g.region = region
+	g.binW = region.W() / float64(g.m)
+	g.binH = region.H() / float64(g.m)
+}
+
+// Region returns the placement region the grid covers.
+func (g *Electrostatic) Region() geom.Rect { return g.region }
+
+// M returns the grid dimension (bins per side).
+func (g *Electrostatic) M() int { return g.m }
+
+// inflated returns the rasterization rectangle and charge-density scale for
+// device i: devices narrower than a bin are inflated to one bin in that
+// axis with their total charge (area) preserved, the standard ePlace
+// treatment that keeps gradients smooth for small cells.
+func (g *Electrostatic) inflated(n *circuit.Netlist, p *circuit.Placement, i int) (geom.Rect, float64) {
+	d := &n.Devices[i]
+	w, h := d.W, d.H
+	scale := 1.0
+	if w < g.binW {
+		scale *= w / g.binW
+		w = g.binW
+	}
+	if h < g.binH {
+		scale *= h / g.binH
+		h = g.binH
+	}
+	r := geom.RectCenter(geom.Point{X: p.X[i], Y: p.Y[i]}, w, h)
+	// Clamp the rect into the region, preserving its size when possible.
+	if dx := g.region.Lo.X - r.Lo.X; dx > 0 {
+		r = r.Translate(geom.Point{X: dx})
+	}
+	if dx := g.region.Hi.X - r.Hi.X; dx < 0 {
+		r = r.Translate(geom.Point{X: dx})
+	}
+	if dy := g.region.Lo.Y - r.Lo.Y; dy > 0 {
+		r = r.Translate(geom.Point{Y: dy})
+	}
+	if dy := g.region.Hi.Y - r.Hi.Y; dy < 0 {
+		r = r.Translate(geom.Point{Y: dy})
+	}
+	return g.region.Intersect(r), scale
+}
+
+// binRange returns the bin index range [lo, hi) overlapped by [a, b) along
+// an axis with bin size s anchored at origin o.
+func binRange(a, b, o, s float64, m int) (int, int) {
+	lo := int(math.Floor((a - o) / s))
+	hi := int(math.Ceil((b - o) / s))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m {
+		hi = m
+	}
+	return lo, hi
+}
+
+// Update rebuilds the density field from placement p and re-solves the
+// Poisson system, refreshing ψ and ξ.
+func (g *Electrostatic) Update(n *circuit.Netlist, p *circuit.Placement) {
+	m := g.m
+	for i := range g.rho {
+		g.rho[i] = 0
+	}
+	binArea := g.binW * g.binH
+	for i := range n.Devices {
+		r, scale := g.inflated(n, p, i)
+		if r.Empty() {
+			continue
+		}
+		x0, x1 := binRange(r.Lo.X, r.Hi.X, g.region.Lo.X, g.binW, m)
+		y0, y1 := binRange(r.Lo.Y, r.Hi.Y, g.region.Lo.Y, g.binH, m)
+		for by := y0; by < y1; by++ {
+			ylo := g.region.Lo.Y + float64(by)*g.binH
+			oy := math.Min(r.Hi.Y, ylo+g.binH) - math.Max(r.Lo.Y, ylo)
+			if oy <= 0 {
+				continue
+			}
+			for bx := x0; bx < x1; bx++ {
+				xlo := g.region.Lo.X + float64(bx)*g.binW
+				ox := math.Min(r.Hi.X, xlo+g.binW) - math.Max(r.Lo.X, xlo)
+				if ox <= 0 {
+					continue
+				}
+				g.rho[by*m+bx] += scale * ox * oy / binArea
+			}
+		}
+	}
+	g.solve()
+}
+
+// solve computes ψ and ξ from the current ρ via the spectral Poisson solve.
+func (g *Electrostatic) solve() {
+	m := g.m
+	// Neutralize: subtract mean density so the DC term vanishes.
+	var mean float64
+	for _, v := range g.rho {
+		mean += v
+	}
+	mean /= float64(m * m)
+	for i, v := range g.rho {
+		g.auv[i] = v - mean
+	}
+	// Forward 2-D DCT-II: rows (over x), then columns (over y).
+	for y := 0; y < m; y++ {
+		g.plan.DCT2(g.auv[y*m:(y+1)*m], g.auv[y*m:(y+1)*m])
+	}
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			g.rowBuf[y] = g.auv[y*m+x]
+		}
+		g.plan.DCT2(g.rowBuf, g.rowOut)
+		for y := 0; y < m; y++ {
+			g.auv[y*m+x] = g.rowOut[y]
+		}
+	}
+	// Normalize to an exact cosine-series representation:
+	// rho[x][y] = Σ auv cos cos with the (2/M)² and α₀ = 1/2 factors folded in.
+	nrm := 4 / (float64(m) * float64(m))
+	for v := 0; v < m; v++ {
+		for u := 0; u < m; u++ {
+			c := g.auv[v*m+u] * nrm
+			if u == 0 {
+				c /= 2
+			}
+			if v == 0 {
+				c /= 2
+			}
+			g.auv[v*m+u] = c
+		}
+	}
+	wu := func(u int) float64 { return math.Pi * float64(u) / (float64(g.m) * g.binW) }
+	wv := func(v int) float64 { return math.Pi * float64(v) / (float64(g.m) * g.binH) }
+
+	// ψ coefficients: a/(wu²+wv²); reconstruct cos(x)·cos(y).
+	for v := 0; v < m; v++ {
+		for u := 0; u < m; u++ {
+			if u == 0 && v == 0 {
+				g.coefBuf[0] = 0
+				continue
+			}
+			g.coefBuf[v*m+u] = g.auv[v*m+u] / (wu(u)*wu(u) + wv(v)*wv(v))
+		}
+	}
+	g.reconstruct(g.coefBuf, g.psi, false, false)
+
+	// ξx coefficients: a·wu/(wu²+wv²); reconstruct sin(x)·cos(y).
+	for v := 0; v < m; v++ {
+		for u := 0; u < m; u++ {
+			if u == 0 && v == 0 {
+				g.coefBuf[0] = 0
+				continue
+			}
+			g.coefBuf[v*m+u] = g.auv[v*m+u] * wu(u) / (wu(u)*wu(u) + wv(v)*wv(v))
+		}
+	}
+	g.reconstruct(g.coefBuf, g.ex, true, false)
+
+	// ξy coefficients: a·wv/(wu²+wv²); reconstruct cos(x)·sin(y).
+	for v := 0; v < m; v++ {
+		for u := 0; u < m; u++ {
+			if u == 0 && v == 0 {
+				g.coefBuf[0] = 0
+				continue
+			}
+			g.coefBuf[v*m+u] = g.auv[v*m+u] * wv(v) / (wu(u)*wu(u) + wv(v)*wv(v))
+		}
+	}
+	g.reconstruct(g.coefBuf, g.ey, false, true)
+}
+
+// reconstruct performs the 2-D inverse transform of coef into out, using a
+// sine basis along x when sinX is set and along y when sinY is set (cosine
+// otherwise). coef is indexed [v*m+u]; out is indexed [y*m+x].
+func (g *Electrostatic) reconstruct(coef, out []float64, sinX, sinY bool) {
+	m := g.m
+	// Inverse along u → x for each v.
+	for v := 0; v < m; v++ {
+		row := coef[v*m : (v+1)*m]
+		if sinX {
+			g.plan.InvSin(row, g.rowOut)
+		} else {
+			g.plan.InvCos(row, g.rowOut)
+		}
+		copy(out[v*m:(v+1)*m], g.rowOut) // out temporarily holds [v][x]
+	}
+	// Inverse along v → y for each x.
+	for x := 0; x < m; x++ {
+		for v := 0; v < m; v++ {
+			g.rowBuf[v] = out[v*m+x]
+		}
+		if sinY {
+			g.plan.InvSin(g.rowBuf, g.rowOut)
+		} else {
+			g.plan.InvCos(g.rowBuf, g.rowOut)
+		}
+		for y := 0; y < m; y++ {
+			out[y*m+x] = g.rowOut[y]
+		}
+	}
+}
+
+// Energy returns the electrostatic potential energy N(v) = ½·Σ q·ψ of the
+// last Update.
+func (g *Electrostatic) Energy() float64 {
+	binArea := g.binW * g.binH
+	var e float64
+	for i, r := range g.rho {
+		e += r * binArea * g.psi[i]
+	}
+	return e / 2
+}
+
+// AddGrad accumulates ∂N/∂x_i = -q_i·ξ(i) into gradX/gradY, sampling the
+// field over each device's (inflated) footprint weighted by bin overlap.
+func (g *Electrostatic) AddGrad(n *circuit.Netlist, p *circuit.Placement, gradX, gradY []float64) {
+	m := g.m
+	for i := range n.Devices {
+		r, scale := g.inflated(n, p, i)
+		if r.Empty() {
+			continue
+		}
+		x0, x1 := binRange(r.Lo.X, r.Hi.X, g.region.Lo.X, g.binW, m)
+		y0, y1 := binRange(r.Lo.Y, r.Hi.Y, g.region.Lo.Y, g.binH, m)
+		var fx, fy float64
+		for by := y0; by < y1; by++ {
+			ylo := g.region.Lo.Y + float64(by)*g.binH
+			oy := math.Min(r.Hi.Y, ylo+g.binH) - math.Max(r.Lo.Y, ylo)
+			if oy <= 0 {
+				continue
+			}
+			for bx := x0; bx < x1; bx++ {
+				xlo := g.region.Lo.X + float64(bx)*g.binW
+				ox := math.Min(r.Hi.X, xlo+g.binW) - math.Max(r.Lo.X, xlo)
+				if ox <= 0 {
+					continue
+				}
+				q := scale * ox * oy
+				fx += q * g.ex[by*m+bx]
+				fy += q * g.ey[by*m+bx]
+			}
+		}
+		gradX[i] -= fx
+		gradY[i] -= fy
+	}
+}
+
+// Overflow returns the density overflow ratio τ: the total device area in
+// bins whose density exceeds targetDensity, normalized by total device
+// area. ePlace-style global placement stops when τ drops below a threshold.
+func (g *Electrostatic) Overflow(n *circuit.Netlist, targetDensity float64) float64 {
+	binArea := g.binW * g.binH
+	var over float64
+	for _, r := range g.rho {
+		if r > targetDensity {
+			over += (r - targetDensity) * binArea
+		}
+	}
+	total := n.TotalDeviceArea()
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+// Rho returns the density value of bin (x, y) from the last Update
+// (exported for diagnostics and tests).
+func (g *Electrostatic) Rho(x, y int) float64 { return g.rho[y*g.m+x] }
+
+// Psi returns the potential of bin (x, y) from the last Update.
+func (g *Electrostatic) Psi(x, y int) float64 { return g.psi[y*g.m+x] }
+
+// Field returns the (ξx, ξy) field of bin (x, y) from the last Update.
+func (g *Electrostatic) Field(x, y int) (float64, float64) {
+	return g.ex[y*g.m+x], g.ey[y*g.m+x]
+}

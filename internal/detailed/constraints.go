@@ -1,0 +1,372 @@
+package detailed
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// pairRel classifies how a device pair is separated, following Fig. 4 of
+// the paper: overlapping pairs go horizontal when the overlap is narrower
+// than tall (Δx < Δy), vertical otherwise; non-overlapping pairs keep the
+// axis along which global placement already separated them.
+type pairRel int
+
+const (
+	relH pairRel = iota // left device → right device
+	relV                // bottom device → top device
+)
+
+// edge is a directed separation constraint in one axis's constraint graph.
+type edge struct {
+	from, to int
+}
+
+// constraintGraphs holds the per-axis separation DAGs derived from a
+// reference placement.
+type constraintGraphs struct {
+	h, v []edge
+}
+
+// snapReference returns a copy of gp adjusted so that every hard constraint
+// family is structurally satisfiable: symmetry groups are snapped to exact
+// mirror symmetry, ordering groups get their x coordinates permuted into the
+// mandated order, and alignment pairs are snapped. Deriving separation
+// directions from this reference keeps the detailed-placement LP feasible.
+func snapReference(n *circuit.Netlist, gp *circuit.Placement) *circuit.Placement {
+	p := gp.Clone()
+	// Symmetry: mirror each group about its optimal axis.
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		var num, den float64
+		for _, pr := range g.Pairs {
+			num += p.X[pr[0]] + p.X[pr[1]]
+			den += 2
+		}
+		for _, r := range g.Self {
+			num += p.X[r]
+			den++
+		}
+		if den == 0 {
+			continue
+		}
+		axis := num / den
+		for pi, pr := range g.Pairs {
+			q1, q2 := pr[0], pr[1]
+			ym := (p.Y[q1] + p.Y[q2]) / 2
+			p.Y[q1], p.Y[q2] = ym, ym
+			d := math.Abs(p.X[q2]-p.X[q1]) / 2
+			if d < n.Devices[q1].W/2 {
+				d = n.Devices[q1].W / 2 // abut at the axis rather than coincide
+			}
+			// Distinct offsets per pair: ties in the snapped x coordinates
+			// would otherwise break mirror consistency of the derived
+			// separation directions (pair i left-of pair j on BOTH sides of
+			// the axis is unsatisfiable under the shared-axis constraint).
+			d += float64(pi+1) * 1e-4
+			if p.X[q1] <= p.X[q2] {
+				p.X[q1], p.X[q2] = axis-d, axis+d
+			} else {
+				p.X[q1], p.X[q2] = axis+d, axis-d
+			}
+		}
+		for _, r := range g.Self {
+			p.X[r] = axis
+		}
+		p.AxisX[gi] = axis
+	}
+	// Ordering groups: permute x coordinates into the required order.
+	for _, grp := range n.HOrders {
+		xs := make([]float64, len(grp))
+		for k, d := range grp {
+			xs[k] = p.X[d]
+		}
+		sort.Float64s(xs)
+		for k, d := range grp {
+			p.X[d] = xs[k]
+		}
+	}
+	// Alignment pairs.
+	for _, pr := range n.BottomAlign {
+		b1, b2 := pr[0], pr[1]
+		bot := (p.Y[b1] - n.Devices[b1].H/2 + p.Y[b2] - n.Devices[b2].H/2) / 2
+		p.Y[b1] = bot + n.Devices[b1].H/2
+		p.Y[b2] = bot + n.Devices[b2].H/2
+	}
+	for _, pr := range n.VCenterAlign {
+		xm := (p.X[pr[0]] + p.X[pr[1]]) / 2
+		p.X[pr[0]], p.X[pr[1]] = xm, xm
+	}
+	return p
+}
+
+// uf is a tiny union-find over device indices.
+type uf struct{ parent []int }
+
+func newUF(n int) *uf {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &uf{parent: p}
+}
+
+func (u *uf) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+func (u *uf) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// deriveGraphs classifies every device pair and returns transitively
+// reduced horizontal and vertical constraint DAGs.
+//
+// Direction choices must be consistent across devices linked by coordinate
+// equalities, or the LP becomes infeasible: a device sitting "above" one
+// member of a bottom-aligned pair and "below" the other contradicts the
+// shared bottom. Devices are therefore grouped into equality clusters —
+// y-clusters joining symmetric mates (equal centers, equal heights) and
+// bottom-aligned pairs; x-clusters joining vertically center-aligned pairs
+// and same-group self-symmetric devices — and separation directions compare
+// cluster-level keys, so every member of a cluster sorts identically.
+func deriveGraphs(n *circuit.Netlist, ref *circuit.Placement) constraintGraphs {
+	nd := len(n.Devices)
+
+	// Equality clusters.
+	yc := newUF(nd)
+	xc := newUF(nd)
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		for _, pr := range g.Pairs {
+			yc.union(pr[0], pr[1])
+		}
+		for i := 1; i < len(g.Self); i++ {
+			xc.union(g.Self[0], g.Self[i])
+		}
+	}
+	for _, pr := range n.BottomAlign {
+		yc.union(pr[0], pr[1])
+	}
+	for _, pr := range n.VCenterAlign {
+		xc.union(pr[0], pr[1])
+	}
+	// Cluster keys: representative coordinate (shared by construction after
+	// snapping) and the minimum member index as a deterministic tie-break.
+	yKey := make([]float64, nd)
+	yRep := make([]int, nd)
+	xKey := make([]float64, nd)
+	xRep := make([]int, nd)
+	for i := 0; i < nd; i++ {
+		yKey[i] = ref.Y[i] - n.Devices[i].H/2 // bottoms are the shared y quantity
+		yRep[i] = i
+		xKey[i] = ref.X[i]
+		xRep[i] = i
+	}
+	for i := 0; i < nd; i++ {
+		if r := yc.find(i); r != i {
+			if i < yRep[r] {
+				yRep[r] = i
+			}
+			yKey[r] = math.Min(yKey[r], yKey[i])
+		}
+		if r := xc.find(i); r != i {
+			if i < xRep[r] {
+				xRep[r] = i
+			}
+			xKey[r] = math.Min(xKey[r], xKey[i])
+		}
+	}
+	yBelow := func(a, b int) bool { // is a below b, cluster-consistently
+		ra, rb := yc.find(a), yc.find(b)
+		if yKey[ra] != yKey[rb] {
+			return yKey[ra] < yKey[rb]
+		}
+		return yRep[ra] < yRep[rb]
+	}
+	xLeft := func(a, b int) bool {
+		ra, rb := xc.find(a), xc.find(b)
+		if xKey[ra] != xKey[rb] {
+			return xKey[ra] < xKey[rb]
+		}
+		return xRep[ra] < xRep[rb]
+	}
+
+	// Forced relations from constraint families.
+	type key struct{ a, b int } // a < b
+	forced := map[key]pairRel{}
+	forcedDir := map[key]bool{} // true: a before b
+	setForced := func(from, to int, rel pairRel) {
+		k := key{from, to}
+		dir := true
+		if from > to {
+			k = key{to, from}
+			dir = false
+		}
+		forced[k] = rel
+		forcedDir[k] = dir
+	}
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		for _, pr := range g.Pairs {
+			q1, q2 := pr[0], pr[1]
+			if ref.X[q1] <= ref.X[q2] {
+				setForced(q1, q2, relH)
+			} else {
+				setForced(q2, q1, relH)
+			}
+		}
+	}
+	for _, pr := range n.BottomAlign {
+		a, b := pr[0], pr[1]
+		if ref.X[a] <= ref.X[b] {
+			setForced(a, b, relH)
+		} else {
+			setForced(b, a, relH)
+		}
+	}
+	for _, pr := range n.VCenterAlign {
+		a, b := pr[0], pr[1]
+		if yBelow(a, b) {
+			setForced(a, b, relV)
+		} else {
+			setForced(b, a, relV)
+		}
+	}
+	for _, grp := range n.HOrders {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				setForced(grp[i], grp[j], relH)
+			}
+		}
+	}
+	// Any remaining same-cluster pair (equality chains, self-symmetric
+	// devices of one group) must separate along the free axis.
+	for a := 0; a < nd; a++ {
+		for b := a + 1; b < nd; b++ {
+			if _, ok := forced[key{a, b}]; ok {
+				continue
+			}
+			if yc.find(a) == yc.find(b) {
+				if xLeft(a, b) {
+					setForced(a, b, relH)
+				} else {
+					setForced(b, a, relH)
+				}
+			} else if xc.find(a) == xc.find(b) {
+				if yBelow(a, b) {
+					setForced(a, b, relV)
+				} else {
+					setForced(b, a, relV)
+				}
+			}
+		}
+	}
+
+	var gs constraintGraphs
+	for a := 0; a < nd; a++ {
+		ra := n.DeviceRect(ref, a)
+		for b := a + 1; b < nd; b++ {
+			k := key{a, b}
+			if rel, ok := forced[k]; ok {
+				from, to := a, b
+				if !forcedDir[k] {
+					from, to = b, a
+				}
+				if rel == relH {
+					gs.h = append(gs.h, edge{from, to})
+				} else {
+					gs.v = append(gs.v, edge{from, to})
+				}
+				continue
+			}
+			rb := n.DeviceRect(ref, b)
+			dx, dy := ra.OverlapDims(rb)
+			var rel pairRel
+			if dx > 0 && dy > 0 {
+				// Overlapping: separate along the cheaper axis (Fig. 4a).
+				if dx < dy {
+					rel = relH
+				} else {
+					rel = relV
+				}
+			} else {
+				// Disjoint: keep the axis with the larger existing gap.
+				gapX := math.Max(rb.Lo.X-ra.Hi.X, ra.Lo.X-rb.Hi.X)
+				gapY := math.Max(rb.Lo.Y-ra.Hi.Y, ra.Lo.Y-rb.Hi.Y)
+				if gapX >= gapY {
+					rel = relH
+				} else {
+					rel = relV
+				}
+			}
+			if rel == relH {
+				if xLeft(a, b) {
+					gs.h = append(gs.h, edge{a, b})
+				} else {
+					gs.h = append(gs.h, edge{b, a})
+				}
+			} else {
+				if yBelow(a, b) {
+					gs.v = append(gs.v, edge{a, b})
+				} else {
+					gs.v = append(gs.v, edge{b, a})
+				}
+			}
+		}
+	}
+	gs.h = transitiveReduce(nd, gs.h)
+	gs.v = transitiveReduce(nd, gs.v)
+	return gs
+}
+
+// transitiveReduce removes edges implied by two-step paths. Constraint
+// graphs from coordinates are DAGs, so reachability is well-defined.
+func transitiveReduce(n int, edges []edge) []edge {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for _, e := range edges {
+		adj[e.from][e.to] = true
+	}
+	// reach[i] = nodes reachable from i in >= 1 step. Computed by DFS with
+	// memoization in reverse topological order of the DAG.
+	reach := make([]map[int]bool, n)
+	var visit func(i int) map[int]bool
+	visit = func(i int) map[int]bool {
+		if reach[i] != nil {
+			return reach[i]
+		}
+		r := map[int]bool{}
+		reach[i] = r // DAG: no cycles, safe to set before recursion
+		for j := range adj[i] {
+			r[j] = true
+			for k := range visit(j) {
+				r[k] = true
+			}
+		}
+		return r
+	}
+	for i := 0; i < n; i++ {
+		visit(i)
+	}
+	var out []edge
+	for _, e := range edges {
+		// Redundant if some other direct successor reaches e.to.
+		redundant := false
+		for j := range adj[e.from] {
+			if j != e.to && reach[j][e.to] {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, e)
+		}
+	}
+	return out
+}

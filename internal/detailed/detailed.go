@@ -1,0 +1,278 @@
+// Package detailed implements legalization and detailed placement for the
+// analytical analog placers.
+//
+// Two back-ends are provided, matching the paper's comparison in Table IV:
+//
+//   - ModeIntegratedILP is ePlace-A's single-stage integrated area +
+//     wirelength minimization (Eq. 4a–4j), with hard symmetry, alignment and
+//     ordering constraints and binary device-flipping variables, solved by
+//     LP-based branch and bound.
+//
+//   - ModeTwoStageLP is the previous analytical work [11]: an area
+//     compaction stage followed by a wirelength-minimization stage, both
+//     plain LPs, without device flipping.
+//
+// Both back-ends share the constraint-graph extraction: each device pair is
+// assigned a horizontal or vertical separation from the global-placement
+// geometry (Fig. 4), and the resulting DAGs are transitively reduced.
+package detailed
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// Mode selects the detailed-placement back-end.
+type Mode int
+
+// Back-ends.
+const (
+	// ModeIntegratedILP is ePlace-A's integrated ILP detailed placement.
+	ModeIntegratedILP Mode = iota
+	// ModeTwoStageLP is the two-stage LP detailed placement of [11].
+	ModeTwoStageLP
+)
+
+func (m Mode) String() string {
+	if m == ModeIntegratedILP {
+		return "integrated-ilp"
+	}
+	return "two-stage-lp"
+}
+
+// Options configures detailed placement.
+type Options struct {
+	Mode Mode
+
+	// Mu weights the area term in the integrated objective (Eq. 4a),
+	// default 1.0. Larger favors area over wirelength.
+	Mu float64
+	// Zeta is the chip-utilization factor defining the constant estimates
+	// W̃ = H̃ = sqrt(Σ areas / ζ) (default 1.0).
+	Zeta float64
+	// MaxNodes caps the branch-and-bound tree per axis (default 60).
+	MaxNodes int
+	// NoFlips disables the device-flipping binaries (used for ablation).
+	NoFlips bool
+	// Refinements is the number of compaction iterations in integrated
+	// mode: after each solve the constraint graphs are re-derived from the
+	// solved placement (whose separations reflect actual gaps rather than
+	// the rough GP geometry) and the ILP is solved again. Each iteration's
+	// incumbent remains feasible, so quality is monotone. Default 3.
+	Refinements int
+}
+
+func (o *Options) defaults() {
+	if o.Mu == 0 {
+		o.Mu = 1.0
+	}
+	if o.Zeta == 0 {
+		o.Zeta = 1.0
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 60
+	}
+	if o.Refinements == 0 {
+		o.Refinements = 3
+	}
+}
+
+// Result is the outcome of detailed placement.
+type Result struct {
+	Placement *circuit.Placement
+	Area      float64 // exact bounding-box area, grid units²
+	HPWL      float64 // exact weighted HPWL, grid units
+	ILPNodes  int     // branch-and-bound nodes solved (integrated mode)
+	FlipsUsed int     // devices left flipped in either axis
+}
+
+// Place legalizes and detail-places the global-placement solution gp.
+func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.CheckSized(gp); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+
+	ref := snapReference(n, gp)
+	gs := deriveGraphs(n, ref)
+
+	out := circuit.NewPlacement(n)
+	var nodes int
+
+	switch opt.Mode {
+	case ModeTwoStageLP:
+		if err := twoStageAxis(n, axisX, gs, out); err != nil {
+			return nil, err
+		}
+		if err := twoStageAxis(n, axisY, gs, out); err != nil {
+			return nil, err
+		}
+	default:
+		tilde := math.Sqrt(n.TotalDeviceArea() / opt.Zeta)
+		prevScore := math.Inf(1)
+		for iter := 0; iter < opt.Refinements; iter++ {
+			if iter == 0 || opt.NoFlips {
+				// Full ILP (branch and bound over flip binaries) on the
+				// first pass; later passes keep the flip assignment and
+				// re-optimize coordinates, which is where refinement pays.
+				nx, err := integratedAxis(n, axisX, gs, opt, tilde, out)
+				if err != nil {
+					return nil, err
+				}
+				ny, err := integratedAxis(n, axisY, gs, opt, tilde, out)
+				if err != nil {
+					return nil, err
+				}
+				nodes += nx + ny
+			}
+			if !opt.NoFlips {
+				improveFlips(n, out)
+				// Re-tighten coordinates for the final flip assignment.
+				if err := resolveCoords(n, axisX, gs, opt, tilde, out); err != nil {
+					return nil, err
+				}
+				if err := resolveCoords(n, axisY, gs, opt, tilde, out); err != nil {
+					return nil, err
+				}
+			}
+			score := n.Area(out) + n.HPWL(out)
+			if score > prevScore*0.999 {
+				break // converged: further refinement cannot pay off
+			}
+			prevScore = score
+			if iter+1 < opt.Refinements {
+				// Re-derive separations from the now-legal placement: the
+				// solved geometry exposes cheaper H/V choices than the
+				// original global-placement overlaps did.
+				gs = deriveGraphs(n, snapReference(n, out))
+			}
+		}
+	}
+
+	n.Normalize(out)
+	flips := 0
+	for i := range out.FlipX {
+		if out.FlipX[i] || out.FlipY[i] {
+			flips++
+		}
+	}
+	return &Result{
+		Placement: out,
+		Area:      n.Area(out),
+		HPWL:      n.HPWL(out),
+		ILPNodes:  nodes,
+		FlipsUsed: flips,
+	}, nil
+}
+
+// integratedAxis solves one axis of the integrated ILP: LP warm start with
+// flips at zero, branch and bound over the flip binaries, best solution
+// extracted into out.
+func integratedAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
+	opt Options, tilde float64, out *circuit.Placement) (int, error) {
+
+	spec := modelSpec{
+		withNets:   true,
+		withFlips:  !opt.NoFlips,
+		withExtent: true,
+		extentObj:  opt.Mu * tilde / 2,
+	}
+	m := buildAxisModel(n, kind, gs, spec)
+
+	if opt.NoFlips {
+		sol, err := lp.Solve(m.prob)
+		if err != nil {
+			return 0, err
+		}
+		if sol.Status != lp.Optimal {
+			return 0, m.infeasErr("integrated")
+		}
+		m.extract(sol.X, n, out)
+		return 0, nil
+	}
+
+	// Warm start: default (mirror-consistent) flip assignment.
+	warm, err := lp.Solve(m.withFixedFlips(warmFlips(n, kind)))
+	if err != nil {
+		return 0, err
+	}
+	if warm.Status != lp.Optimal {
+		return 0, m.infeasErr("warm-start")
+	}
+	isol, err := ilp.Solve(&ilp.Problem{LP: m.prob, Ints: m.flipVar}, ilp.Options{
+		MaxNodes:     opt.MaxNodes,
+		Incumbent:    warm.X,
+		IncumbentObj: warm.Obj,
+	})
+	if err != nil {
+		// Node cap without improvement: fall back to the warm start.
+		m.extract(warm.X, n, out)
+		return 0, nil
+	}
+	m.extract(isol.X, n, out)
+	return isol.Nodes, nil
+}
+
+// resolveCoords re-solves one axis as a pure LP with the placement's
+// current flip assignment fixed, updating coordinates in place.
+func resolveCoords(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
+	opt Options, tilde float64, out *circuit.Placement) error {
+
+	spec := modelSpec{
+		withNets:   true,
+		withFlips:  true,
+		withExtent: true,
+		extentObj:  opt.Mu * tilde / 2,
+	}
+	m := buildAxisModel(n, kind, gs, spec)
+	flips := out.FlipX
+	if kind == axisY {
+		flips = out.FlipY
+	}
+	sol, err := lp.Solve(m.withFixedFlips(flips))
+	if err != nil {
+		return err
+	}
+	if sol.Status != lp.Optimal {
+		return m.infeasErr("flip-fixed")
+	}
+	m.extract(sol.X, n, out)
+	return nil
+}
+
+// twoStageAxis runs the [11] flow on one axis: minimize extent, then
+// minimize wirelength subject to the achieved extent.
+func twoStageAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs, out *circuit.Placement) error {
+	// Stage 1: area compaction.
+	m1 := buildAxisModel(n, kind, gs, modelSpec{withExtent: true, extentObj: 1})
+	s1, err := lp.Solve(m1.prob)
+	if err != nil {
+		return err
+	}
+	if s1.Status != lp.Optimal {
+		return m1.infeasErr("compaction")
+	}
+	extent := s1.X[m1.extentVar]
+
+	// Stage 2: wirelength minimization within the compacted extent.
+	m2 := buildAxisModel(n, kind, gs, modelSpec{
+		withNets:   true,
+		withExtent: true,
+		extentCap:  extent + 1e-9,
+	})
+	s2, err := lp.Solve(m2.prob)
+	if err != nil {
+		return err
+	}
+	if s2.Status != lp.Optimal {
+		return m2.infeasErr("wirelength")
+	}
+	m2.extract(s2.X, n, out)
+	return nil
+}

@@ -1,0 +1,60 @@
+package detailed
+
+import "repro/internal/circuit"
+
+// improveFlips greedily refines the flip assignment with coordinates held
+// fixed: each device's horizontal and vertical flips are toggled whenever
+// that strictly reduces exact HPWL, repeated to a fixed point. Mirrored
+// symmetric pairs are toggled jointly so the layout stays a mirror image.
+// This backstops the branch-and-bound search when its node cap truncates
+// the tree.
+func improveFlips(n *circuit.Netlist, p *circuit.Placement) {
+	// Mirror partner per device (or -1).
+	partner := make([]int, len(n.Devices))
+	for i := range partner {
+		partner[i] = -1
+	}
+	for gi := range n.SymGroups {
+		for _, pr := range n.SymGroups[gi].Pairs {
+			partner[pr[0]], partner[pr[1]] = pr[1], pr[0]
+		}
+	}
+	cur := n.HPWL(p)
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for i := range n.Devices {
+			// Horizontal flip: mirror pairs toggle together (their mirrored
+			// orientations stay complementary).
+			p.FlipX[i] = !p.FlipX[i]
+			if j := partner[i]; j >= 0 {
+				p.FlipX[j] = !p.FlipX[j]
+			}
+			if c := n.HPWL(p); c < cur-1e-12 {
+				cur = c
+				improved = true
+			} else {
+				p.FlipX[i] = !p.FlipX[i]
+				if j := partner[i]; j >= 0 {
+					p.FlipX[j] = !p.FlipX[j]
+				}
+			}
+			// Vertical flip: symmetric pairs share the row, toggle together.
+			p.FlipY[i] = !p.FlipY[i]
+			if j := partner[i]; j >= 0 {
+				p.FlipY[j] = !p.FlipY[j]
+			}
+			if c := n.HPWL(p); c < cur-1e-12 {
+				cur = c
+				improved = true
+			} else {
+				p.FlipY[i] = !p.FlipY[i]
+				if j := partner[i]; j >= 0 {
+					p.FlipY[j] = !p.FlipY[j]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}

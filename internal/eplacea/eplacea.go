@@ -1,0 +1,414 @@
+// Package eplacea implements the global-placement stage of ePlace-A, the
+// paper's analytical analog placer: the ePlace framework (Weighted-Average
+// wirelength smoothing, electrostatic density penalty solved spectrally,
+// Nesterov's method with Lipschitz step prediction) extended with the analog
+// terms of Eq. (3) — a soft symmetry penalty Sym(v), and an explicit
+// WA-smoothed total-area term Area(v).
+//
+// The full ePlace-A flow is global placement from this package followed by
+// the ILP legalization/detailed placement in package detailed.
+package eplacea
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/nlopt"
+	"repro/internal/wl"
+)
+
+// Options configures global placement.
+type Options struct {
+	Seed int64
+
+	// GridM is the density grid dimension (power of two, default 32).
+	GridM int
+	// Util is the placement-region utilization: the region side is
+	// sqrt(totalDeviceArea/Util). Default 0.8.
+	Util float64
+
+	// AreaWeight scales the Area(v) term η relative to the wirelength
+	// gradient (default 0.45; 0 disables the term — the Fig. 2 ablation).
+	AreaWeight float64
+	// NoArea disables the area term entirely even if AreaWeight is unset
+	// (distinguishes "default" from "explicitly zero").
+	NoArea bool
+
+	// SymWeight scales the symmetry penalty τ relative to the wirelength
+	// gradient (default 0.4).
+	SymWeight float64
+	// HardSym switches the Table I ablation: enforce symmetry from the
+	// first iteration with a rigid (1000×) penalty instead of the soft,
+	// gradually increasing one.
+	HardSym bool
+
+	// MaxIter caps Nesterov iterations (default 900).
+	MaxIter int
+	// StopOverflow ends global placement once density overflow drops below
+	// this ratio (default 0.08).
+	StopOverflow float64
+
+	// ExtraWeight scales the optional extra objective term (ePlace-AP's
+	// α·Φ) relative to the wirelength gradient (default 0.5).
+	ExtraWeight float64
+
+	// Lambda0 is the initial density-multiplier ratio against the
+	// wirelength gradient (default 1e-3).
+	Lambda0 float64
+	// LambdaGrowth is the per-iteration density multiplier growth
+	// (default 1.05).
+	LambdaGrowth float64
+
+	// UseLSE swaps the WA wirelength smoothing for Log-Sum-Exponential,
+	// the ablation isolating the paper's reason (2) for ePlace-A's edge
+	// over [11] (WA has lower estimation error [23]).
+	UseLSE bool
+}
+
+func (o *Options) defaults() {
+	if o.GridM == 0 {
+		o.GridM = 32
+	}
+	if o.Util == 0 {
+		o.Util = 0.8
+	}
+	if o.AreaWeight == 0 && !o.NoArea {
+		o.AreaWeight = 0.45
+	}
+	if o.NoArea {
+		o.AreaWeight = 0
+	}
+	if o.SymWeight == 0 {
+		o.SymWeight = 0.4
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 900
+	}
+	if o.StopOverflow == 0 {
+		o.StopOverflow = 0.08
+	}
+	if o.ExtraWeight == 0 {
+		o.ExtraWeight = 0.5
+	}
+	if o.Lambda0 == 0 {
+		o.Lambda0 = 1e-3
+	}
+	if o.LambdaGrowth == 0 {
+		o.LambdaGrowth = 1.05
+	}
+}
+
+// Result reports the global-placement outcome.
+type Result struct {
+	Placement  *circuit.Placement
+	Iterations int
+	Overflow   float64 // final density overflow
+	HPWL       float64 // exact HPWL of the GP solution
+	Region     geom.Rect
+}
+
+// ExtraGrad lets callers add terms to the GP objective; used by ePlace-AP
+// to inject the GNN performance gradient α·∂Φ/∂v. It returns the term's
+// value and accumulates its gradient.
+type ExtraGrad func(p *circuit.Placement, gradX, gradY []float64) float64
+
+// Place runs ePlace-A global placement on netlist n.
+func Place(n *circuit.Netlist, opt Options) (*Result, error) {
+	return PlaceExtra(n, opt, nil)
+}
+
+// PlaceExtra runs global placement with an optional extra objective term
+// (the performance-driven hook of ePlace-AP).
+func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	nd := len(n.Devices)
+
+	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
+	region := geom.RectWH(0, 0, side, side)
+	grid := density.NewElectrostatic(opt.GridM, region)
+	binW := region.W() / float64(opt.GridM)
+
+	smoother := wl.WA
+	if opt.UseLSE {
+		smoother = wl.LSE
+	}
+	wlEv := wl.NewEvaluator(n, smoother, 4*binW)
+	areaEv := wl.NewAreaEvaluator(n, 4*binW)
+
+	// Initial placement: devices gathered at the region center with a small
+	// deterministic jitter (the standard ePlace start).
+	rng := rand.New(rand.NewSource(opt.Seed))
+	p := circuit.NewPlacement(n)
+	cx, cy := region.Center().X, region.Center().Y
+	for i := 0; i < nd; i++ {
+		p.X[i] = cx + (rng.Float64()-0.5)*side*0.15
+		p.Y[i] = cy + (rng.Float64()-0.5)*side*0.15
+	}
+
+	st := &solveState{
+		n: n, opt: &opt, grid: grid, wlEv: wlEv, areaEv: areaEv,
+		p: p, region: region, binW: binW, extra: extra,
+		gx: make([]float64, nd), gy: make([]float64, nd),
+		sgx: make([]float64, nd), sgy: make([]float64, nd),
+	}
+	st.calibrate()
+
+	x := make([]float64, 2*nd)
+	copy(x[:nd], p.X)
+	copy(x[nd:], p.Y)
+
+	iterRun := 0
+	_, iters := nlopt.Nesterov(st.objective, x, nlopt.NesterovOptions{
+		MaxIter:  opt.MaxIter,
+		InitStep: binW, // about one bin per step to start
+		Callback: func(iter int, cur []float64, f float64) bool {
+			iterRun = iter + 1
+			st.schedule(iter)
+			if iter >= 50 && st.lastOverflow < opt.StopOverflow {
+				return false
+			}
+			return true
+		},
+	})
+	_ = iters
+	copy(p.X, x[:nd])
+	copy(p.Y, x[nd:])
+	clampInto(n, p, region)
+	resolveAxes(n, p)
+	n.Normalize(p)
+
+	grid.Update(n, p)
+	return &Result{
+		Placement:  p,
+		Iterations: iterRun,
+		Overflow:   grid.Overflow(n, 1.0),
+		HPWL:       n.HPWL(p),
+		Region:     region,
+	}, nil
+}
+
+// solveState carries the objective's mutable weights and scratch space.
+type solveState struct {
+	n      *circuit.Netlist
+	opt    *Options
+	grid   *density.Electrostatic
+	wlEv   *wl.Evaluator
+	areaEv *wl.AreaEvaluator
+	p      *circuit.Placement
+	region geom.Rect
+	binW   float64
+	extra  ExtraGrad
+
+	lambda float64 // density multiplier
+	tau    float64 // symmetry multiplier
+	eta    float64 // area multiplier
+	alpha  float64 // extra-term multiplier (1 when extra != nil)
+
+	lastOverflow float64
+
+	gx, gy   []float64
+	sgx, sgy []float64
+}
+
+// calibrate sets the initial multipliers from gradient L1 norms so each
+// term starts at a controlled fraction of the wirelength force, the
+// standard ePlace initialization.
+func (st *solveState) calibrate() {
+	nd := len(st.n.Devices)
+	zero(st.gx)
+	zero(st.gy)
+	st.wlEv.Eval(st.p, st.gx, st.gy)
+	wlNorm := nlopt.Norm1(st.gx) + nlopt.Norm1(st.gy) + 1e-12
+
+	st.grid.Update(st.n, st.p)
+	zero(st.sgx)
+	zero(st.sgy)
+	st.grid.AddGrad(st.n, st.p, st.sgx, st.sgy)
+	denNorm := nlopt.Norm1(st.sgx) + nlopt.Norm1(st.sgy) + 1e-12
+	st.lambda = st.opt.Lambda0 * wlNorm / denNorm
+
+	zero(st.sgx)
+	zero(st.sgy)
+	SymPenalty(st.n, st.p, st.sgx, st.sgy)
+	symNorm := nlopt.Norm1(st.sgx) + nlopt.Norm1(st.sgy)
+	if symNorm < 1e-12 {
+		symNorm = wlNorm // no symmetry constraints: weight is irrelevant
+	}
+	st.tau = st.opt.SymWeight * wlNorm / symNorm
+	if st.opt.HardSym {
+		st.tau *= 1000
+	}
+
+	zero(st.sgx)
+	zero(st.sgy)
+	st.areaEv.Eval(st.p, st.sgx, st.sgy)
+	areaNorm := nlopt.Norm1(st.sgx) + nlopt.Norm1(st.sgy) + 1e-12
+	st.eta = st.opt.AreaWeight * wlNorm / areaNorm
+
+	st.alpha = 0
+	if st.extra != nil {
+		zero(st.sgx)
+		zero(st.sgy)
+		st.extra(st.p, st.sgx, st.sgy)
+		exNorm := nlopt.Norm1(st.sgx) + nlopt.Norm1(st.sgy)
+		if exNorm < 1e-12 {
+			exNorm = wlNorm
+		}
+		st.alpha = st.opt.ExtraWeight * wlNorm / exNorm
+	}
+	st.lastOverflow = st.grid.Overflow(st.n, 1.0)
+	_ = nd
+}
+
+// schedule advances the multiplier and smoothing schedules once per
+// Nesterov iteration: λ grows geometrically, the soft symmetry weight
+// tightens, and the WA smoothing parameter anneals with overflow.
+func (st *solveState) schedule(iter int) {
+	st.lambda *= st.opt.LambdaGrowth
+	if !st.opt.HardSym && iter%10 == 0 {
+		st.tau *= 1.10
+	}
+	gamma := st.binW * (0.5 + 7.5*math.Min(st.lastOverflow, 1))
+	st.wlEv.SetGamma(gamma)
+	st.areaEv.SetGamma(gamma)
+}
+
+// objective evaluates Eq. (3) (plus the optional extra term) and its
+// gradient at the packed coordinate vector x = (x₀..x_{n−1}, y₀..y_{n−1}).
+func (st *solveState) objective(x, grad []float64) float64 {
+	nd := len(st.n.Devices)
+	copy(st.p.X, x[:nd])
+	copy(st.p.Y, x[nd:])
+
+	zero(st.gx)
+	zero(st.gy)
+	f := st.wlEv.Eval(st.p, st.gx, st.gy)
+
+	st.grid.Update(st.n, st.p)
+	zero(st.sgx)
+	zero(st.sgy)
+	st.grid.AddGrad(st.n, st.p, st.sgx, st.sgy)
+	f += st.lambda * st.grid.Energy()
+	for i := 0; i < nd; i++ {
+		st.gx[i] += st.lambda * st.sgx[i]
+		st.gy[i] += st.lambda * st.sgy[i]
+	}
+	st.lastOverflow = st.grid.Overflow(st.n, 1.0)
+
+	if len(st.n.SymGroups) > 0 {
+		zero(st.sgx)
+		zero(st.sgy)
+		sp := SymPenalty(st.n, st.p, st.sgx, st.sgy)
+		f += st.tau * sp
+		for i := 0; i < nd; i++ {
+			st.gx[i] += st.tau * st.sgx[i]
+			st.gy[i] += st.tau * st.sgy[i]
+		}
+	}
+
+	if st.eta > 0 {
+		zero(st.sgx)
+		zero(st.sgy)
+		av := st.areaEv.Eval(st.p, st.sgx, st.sgy)
+		f += st.eta * av
+		for i := 0; i < nd; i++ {
+			st.gx[i] += st.eta * st.sgx[i]
+			st.gy[i] += st.eta * st.sgy[i]
+		}
+	}
+
+	if st.extra != nil {
+		zero(st.sgx)
+		zero(st.sgy)
+		ev := st.extra(st.p, st.sgx, st.sgy)
+		f += st.alpha * ev
+		for i := 0; i < nd; i++ {
+			st.gx[i] += st.alpha * st.sgx[i]
+			st.gy[i] += st.alpha * st.sgy[i]
+		}
+	}
+
+	copy(grad[:nd], st.gx)
+	copy(grad[nd:], st.gy)
+	return f
+}
+
+// SymPenalty evaluates the soft symmetry penalty of Eq. (3),
+// Σ_groups [ Σ_pairs (y_q1 − y_q2)² + (x_q1 + x_q2 − 2x_m)²
+//
+//   - Σ_self  (x_r − x_m)² ],
+//
+// with the axis x_m of each group chosen optimally (its minimizing value,
+// by the envelope theorem the gradient treats it as constant), and
+// accumulates the gradient.
+func SymPenalty(n *circuit.Netlist, p *circuit.Placement, gradX, gradY []float64) float64 {
+	var total float64
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		axis := OptimalAxis(n, p, gi)
+		for _, pr := range g.Pairs {
+			q1, q2 := pr[0], pr[1]
+			dy := p.Y[q1] - p.Y[q2]
+			dx := p.X[q1] + p.X[q2] - 2*axis
+			total += dy*dy + dx*dx
+			gradY[q1] += 2 * dy
+			gradY[q2] -= 2 * dy
+			gradX[q1] += 2 * dx
+			gradX[q2] += 2 * dx
+		}
+		for _, r := range g.Self {
+			dx := p.X[r] - axis
+			total += dx * dx
+			gradX[r] += 2 * dx
+		}
+	}
+	return total
+}
+
+// OptimalAxis returns the axis x_m minimizing the group's penalty:
+// the quadratic is minimized at a weighted mean of pair midpoints (weight 4
+// per pair via (…−2x_m)²) and self positions (weight 1).
+func OptimalAxis(n *circuit.Netlist, p *circuit.Placement, gi int) float64 {
+	g := &n.SymGroups[gi]
+	var num, den float64
+	for _, pr := range g.Pairs {
+		num += 2 * (p.X[pr[0]] + p.X[pr[1]])
+		den += 4
+	}
+	for _, r := range g.Self {
+		num += p.X[r]
+		den++
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// resolveAxes stores each group's optimal axis into the placement.
+func resolveAxes(n *circuit.Netlist, p *circuit.Placement) {
+	for gi := range n.SymGroups {
+		p.AxisX[gi] = OptimalAxis(n, p, gi)
+	}
+}
+
+// clampInto forces every device footprint inside the region.
+func clampInto(n *circuit.Netlist, p *circuit.Placement, region geom.Rect) {
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		p.X[i] = geom.Interval{Lo: region.Lo.X + d.W/2, Hi: region.Hi.X - d.W/2}.Clamp(p.X[i])
+		p.Y[i] = geom.Interval{Lo: region.Lo.Y + d.H/2, Hi: region.Hi.Y - d.H/2}.Clamp(p.Y[i])
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 7, Quick: true} }
+
+func TestTable1ShapesAndFormat(t *testing.T) {
+	rows, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Soft.Legal || !r.Hard.Legal {
+			t.Errorf("%s: illegal placement in Table I run", r.Design)
+		}
+		if r.Soft.AreaUM2 <= 0 || r.Hard.AreaUM2 <= 0 {
+			t.Errorf("%s: degenerate areas", r.Design)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "CC-OTA") || !strings.Contains(out, "TABLE I") {
+		t.Errorf("format missing expected content:\n%s", out)
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	rows, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// The area term should help (reduce area) on at least two of the three
+	// circuits — the paper's direction.
+	helped := 0
+	for _, r := range rows {
+		if r.AreaIncreasePct > 0 {
+			helped++
+		}
+	}
+	if helped < 2 {
+		t.Errorf("area term helped on only %d/3 circuits", helped)
+	}
+	if s := FormatFig2(rows); !strings.Contains(s, "area term") {
+		t.Error("format missing title")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows, err := Table3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		for name, m := range map[string]MethodMetrics{"SA": r.SA, "prev": r.Prev, "ePlace-A": r.EPlaceA} {
+			if !m.Legal {
+				t.Errorf("%s/%s: illegal placement", r.Design, name)
+			}
+			if m.AreaUM2 <= 0 || m.HPWLUM <= 0 || m.RuntimeS <= 0 {
+				t.Errorf("%s/%s: degenerate metrics %+v", r.Design, name, m)
+			}
+		}
+	}
+	// The paper's key claim about [11]: worse area than ePlace-A on average.
+	_, _, _, pvArea, _, _ := Table3Averages(rows)
+	if pvArea < 1.0 {
+		t.Errorf("prev-work avg area ratio %.2f < 1.0; expected worse than ePlace-A", pvArea)
+	}
+	if s := FormatTable3(rows); !strings.Contains(s, "Avg.(X)") {
+		t.Error("format missing averages row")
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	rows, err := Table4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Prev.Legal || !r.EPlaceA.Legal {
+			t.Errorf("%s: illegal DP result", r.Design)
+		}
+		// Table IV's claim: from the same GP, the integrated ILP with
+		// flipping achieves HPWL no worse than the two-stage LP.
+		if r.EPlaceA.HPWLUM > r.Prev.HPWLUM*1.02 {
+			t.Errorf("%s: integrated DP HPWL %.1f worse than two-stage %.1f",
+				r.Design, r.EPlaceA.HPWLUM, r.Prev.HPWLUM)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	pts, err := Fig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := map[string]int{}
+	for _, p := range pts {
+		methods[p.Method]++
+		if p.AreaUM2 <= 0 || p.HPWLUM <= 0 {
+			t.Errorf("degenerate sweep point %+v", p)
+		}
+	}
+	for _, m := range []string{"SA", "Prev", "ePlace-A"} {
+		if methods[m] < 2 {
+			t.Errorf("method %s has %d sweep points, want >= 2", m, methods[m])
+		}
+	}
+	if s := FormatSweep("t", pts, false); !strings.Contains(s, "ePlace-A") {
+		t.Error("sweep format missing method")
+	}
+}
+
+func TestPerfPipelineQuick(t *testing.T) {
+	cfg := quickCfg()
+	models, err := TrainAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models.ByName) != 10 || len(models.Cases) != 10 {
+		t.Fatalf("trained %d models for %d cases", len(models.ByName), len(models.Cases))
+	}
+	t5, t7, err := Table5And7(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5) != 10 || len(t7) != 10 {
+		t.Fatalf("want 10 rows each, got %d/%d", len(t5), len(t7))
+	}
+	for _, r := range t5 {
+		for _, f := range []float64{r.SAConv, r.SAPerf, r.PrevConv, r.PrevPerf, r.EPlaceAConv, r.EPlaceAPPerf} {
+			if f <= 0 || f > 1 {
+				t.Errorf("%s: FOM %f out of (0,1]", r.Design, f)
+			}
+		}
+	}
+	t6, err := Table6(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 4 {
+		t.Errorf("Table VI: want 4 metric rows, got %d", len(t6.Rows))
+	}
+	if s := FormatTable6(t6); !strings.Contains(s, "FOM") {
+		t.Error("Table VI format missing FOM row")
+	}
+	pts, err := Fig6(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 6 {
+		t.Errorf("Fig 6: want >= 6 points, got %d", len(pts))
+	}
+	if s := FormatTable5(t5); !strings.Contains(s, "Avg.") {
+		t.Error("Table V format missing averages")
+	}
+	if s := FormatTable7(t7); !strings.Contains(s, "Avg.(X)") {
+		t.Error("Table VII format missing averages")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	rows, err := Ablations(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 ablation rows in quick mode, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Base.Legal || !r.Variant.Legal {
+			t.Errorf("%s/%s: illegal placement", r.Ablation, r.Design)
+		}
+	}
+	if s := FormatAblations(rows); !strings.Contains(s, "no-flipping") {
+		t.Error("format missing ablation tag")
+	}
+}
+
+func TestRoutedValidationQuick(t *testing.T) {
+	rows, err := RoutedValidation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows in quick mode, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RouteUM <= 0 {
+			t.Errorf("%s/%s: no routed length", r.Design, r.Method)
+		}
+		// Routed length should be within a small factor of HPWL for these
+		// legal, routable placements.
+		if r.RouteUM > 4*r.HPWLUM || r.RouteUM < 0.4*r.HPWLUM {
+			t.Errorf("%s/%s: routed %.1f vs HPWL %.1f implausible", r.Design, r.Method, r.RouteUM, r.HPWLUM)
+		}
+	}
+	if s := FormatRouted(rows); !strings.Contains(s, "Routed") {
+		t.Error("format missing header")
+	}
+}

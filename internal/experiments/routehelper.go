@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/testcircuits"
+)
+
+// routePlacement globally routes a placement result and returns its routed
+// wirelength alongside the HPWL.
+func routePlacement(c *testcircuits.Case, res *core.Result) (*RoutedRow, error) {
+	rr, err := route.Route(c.Netlist, res.Placement, route.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Compare against the unweighted HPWL sum — routed length is a
+	// physical quantity, so net weights must not skew the comparison.
+	var hp float64
+	for e := range c.Netlist.Nets {
+		hp += c.Netlist.NetHPWL(res.Placement, e)
+	}
+	return &RoutedRow{
+		HPWLUM:  circuit.LenUM(hp),
+		RouteUM: circuit.LenUM(rr.TotalLength),
+		MaxUse:  rr.MaxUsage,
+	}, nil
+}

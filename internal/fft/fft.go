@@ -1,0 +1,167 @@
+// Package fft provides the spectral transforms behind ePlace-style
+// electrostatic placement: an iterative radix-2 complex FFT, an FFT-based
+// forward DCT-II, and the inverse cosine/sine reconstructions used to
+// evaluate the electrostatic potential ψ and field ξ from frequency-domain
+// Poisson coefficients.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place forward discrete Fourier transform
+// X[k] = Σ_n x[n]·e^{-2πi·kn/N}. len(x) must be a power of two.
+func FFT(x []complex128) {
+	fftRadix2(x, false)
+}
+
+// IFFT computes the in-place inverse DFT (including the 1/N scale), the
+// exact inverse of FFT. len(x) must be a power of two.
+func IFFT(x []complex128) {
+	fftRadix2(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// Plan holds precomputed twiddle factors and basis tables for 1-D trig
+// transforms of a fixed size N (a power of two). Plans are cheap to reuse
+// and not safe for concurrent use.
+type Plan struct {
+	n       int
+	scratch []complex128
+	twiddle []complex128 // e^{-iπk/(2N)}, k = 0..N-1
+	cosTab  []float64    // cos(πk(2n+1)/(2N)) at [k*N+n]
+	sinTab  []float64    // sin(πk(2n+1)/(2N)) at [k*N+n]
+}
+
+// NewPlan builds a plan for transforms of length n (power of two).
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: plan size %d is not a positive power of two", n))
+	}
+	p := &Plan{
+		n:       n,
+		scratch: make([]complex128, n),
+		twiddle: make([]complex128, n),
+		cosTab:  make([]float64, n*n),
+		sinTab:  make([]float64, n*n),
+	}
+	for k := 0; k < n; k++ {
+		p.twiddle[k] = cmplx.Exp(complex(0, -math.Pi*float64(k)/(2*float64(n))))
+		for j := 0; j < n; j++ {
+			arg := math.Pi * float64(k) * (2*float64(j) + 1) / (2 * float64(n))
+			p.cosTab[k*n+j] = math.Cos(arg)
+			p.sinTab[k*n+j] = math.Sin(arg)
+		}
+	}
+	return p
+}
+
+// N returns the plan's transform length.
+func (p *Plan) N() int { return p.n }
+
+// DCT2 computes the unnormalized DCT-II
+//
+//	out[k] = Σ_{n} x[n]·cos(πk(2n+1)/(2N))
+//
+// using the Makhoul even-odd permutation and a single length-N FFT.
+// x and out may alias.
+func (p *Plan) DCT2(x, out []float64) {
+	n := p.n
+	if len(x) != n || len(out) != n {
+		panic("fft: DCT2 size mismatch")
+	}
+	half := n / 2
+	for i := 0; i < half; i++ {
+		p.scratch[i] = complex(x[2*i], 0)
+		p.scratch[n-1-i] = complex(x[2*i+1], 0)
+	}
+	if n == 1 {
+		p.scratch[0] = complex(x[0], 0)
+	}
+	FFT(p.scratch)
+	for k := 0; k < n; k++ {
+		out[k] = real(p.twiddle[k] * p.scratch[k])
+	}
+}
+
+// InvCos evaluates the cosine series
+//
+//	out[j] = Σ_{k=0}^{N-1} a[k]·cos(πk(2j+1)/(2N))
+//
+// (the caller folds any α_k normalization into a). x and out may not alias.
+func (p *Plan) InvCos(a, out []float64) {
+	p.matVec(p.cosTab, a, out)
+}
+
+// InvSin evaluates the sine series
+//
+//	out[j] = Σ_{k=0}^{N-1} a[k]·sin(πk(2j+1)/(2N))
+//
+// (the k = 0 term is identically zero). x and out may not alias.
+func (p *Plan) InvSin(a, out []float64) {
+	p.matVec(p.sinTab, a, out)
+}
+
+// matVec computes out[j] = Σ_k a[k]·tab[k*N+j].
+func (p *Plan) matVec(tab, a, out []float64) {
+	n := p.n
+	if len(a) != n || len(out) != n {
+		panic("fft: transform size mismatch")
+	}
+	for j := 0; j < n; j++ {
+		out[j] = 0
+	}
+	for k := 0; k < n; k++ {
+		ak := a[k]
+		if ak == 0 {
+			continue
+		}
+		row := tab[k*n : (k+1)*n]
+		for j := 0; j < n; j++ {
+			out[j] += ak * row[j]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNetLenFeatureValue: the netlen feature column must equal the summed
+// weighted HPWL of each node's incident nets, normalized by scale.
+func TestNetLenFeatureValue(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 10, 1)
+	p := randomPlacement(n, rand.New(rand.NewSource(1)), 30)
+	m.forward(p, &m.scratch)
+	for i := range n.Devices {
+		var want float64
+		for e := range n.Nets {
+			onNet := false
+			for _, pr := range n.Nets[e].Pins {
+				if pr.Device == i {
+					onNet = true
+					break
+				}
+			}
+			if onNet {
+				w := n.Nets[e].Weight
+				if w == 0 {
+					w = 1
+				}
+				want += w * n.NetHPWL(p, e) / 10
+			}
+		}
+		if got := m.scratch.x[i][2]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("netlen[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+// TestMismatchFeatureValue: matched-net pairs contribute |L_a − L_b|/scale
+// to every device touching either net.
+func TestMismatchFeatureValue(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 10, 1)
+	m.SetMatchedNets([][2]int{{0, 1}})
+	p := randomPlacement(n, rand.New(rand.NewSource(2)), 30)
+	m.forward(p, &m.scratch)
+	want := math.Abs(n.NetHPWL(p, 0)-n.NetHPWL(p, 1)) / 10
+	touched := map[int]bool{}
+	for _, e := range []int{0, 1} {
+		for _, pr := range n.Nets[e].Pins {
+			touched[pr.Device] = true
+		}
+	}
+	for i := range n.Devices {
+		exp := 0.0
+		if touched[i] {
+			exp = want
+		}
+		if got := m.scratch.x[i][3]; math.Abs(got-exp) > 1e-9 {
+			t.Errorf("mismatch[%d] = %g, want %g", i, got, exp)
+		}
+	}
+}
+
+// TestProbGradWithMatchedNetsFD: the full coordinate gradient, including
+// the netlen and mismatch chains, must match finite differences at generic
+// positions.
+func TestProbGradWithMatchedNetsFD(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 10, 3)
+	m.SetMatchedNets([][2]int{{0, 2}})
+	rng := rand.New(rand.NewSource(4))
+	p := randomPlacement(n, rng, 40)
+	nd := len(n.Devices)
+	gx := make([]float64, nd)
+	gy := make([]float64, nd)
+	m.ProbGrad(p, gx, gy)
+	const h = 1e-6
+	bad := 0
+	for i := 0; i < nd; i++ {
+		p.X[i] += h
+		fp := m.Prob(n, p)
+		p.X[i] -= 2 * h
+		fm := m.Prob(n, p)
+		p.X[i] += h
+		fd := (fp - fm) / (2 * h)
+		// The HPWL-based features have subgradient kinks where a net's
+		// bounding pin changes owner; tolerate rare disagreements but not
+		// systematic ones.
+		if math.Abs(fd-gx[i]) > 1e-5+5e-3*math.Abs(fd) {
+			bad++
+		}
+	}
+	if bad > 1 {
+		t.Errorf("%d of %d x-gradients disagree with finite differences", bad, nd)
+	}
+}
+
+// TestMismatchFeatureInfluencesProb: models with matched nets must react
+// to pure asymmetry changes that keep every individual feature except
+// mismatch roughly fixed.
+func TestMismatchFeatureInfluencesProb(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 10, 5)
+	m.SetMatchedNets([][2]int{{0, 2}})
+	p := randomPlacement(n, rand.New(rand.NewSource(6)), 30)
+	base := m.Prob(n, p)
+	// Stretch net 0 only (move device 1, which is on net 0 but not net 2).
+	p.X[1] += 25
+	stretched := m.Prob(n, p)
+	if base == stretched {
+		t.Error("Prob did not react to a matched-net asymmetry change")
+	}
+}
+
+func TestSetMatchedNetsCopies(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 10, 7)
+	pairs := [][2]int{{0, 1}}
+	m.SetMatchedNets(pairs)
+	pairs[0] = [2]int{2, 3}
+	if m.matched[0] != [2]int{0, 1} {
+		t.Error("SetMatchedNets shares caller storage")
+	}
+}

@@ -1,0 +1,230 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/geom"
+)
+
+func testNetlist() *circuit.Netlist {
+	mk := func(name string, ty circuit.DeviceType, w, h float64) circuit.Device {
+		return circuit.Device{Name: name, Type: ty, W: w, H: h,
+			Pins: []circuit.Pin{{Offset: geom.Point{X: w / 2, Y: h / 2}}}}
+	}
+	return &circuit.Netlist{
+		Name: "gnn-test",
+		Devices: []circuit.Device{
+			mk("a", circuit.NMOS, 4, 4), mk("b", circuit.NMOS, 4, 4),
+			mk("c", circuit.PMOS, 5, 3), mk("d", circuit.Cap, 6, 6),
+			mk("e", circuit.Res, 2, 7), mk("f", circuit.PMOS, 5, 3),
+		},
+		Nets: []circuit.Net{
+			{Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 0}, {Device: 2, Pin: 0}}},
+			{Pins: []circuit.PinRef{{Device: 2, Pin: 0}, {Device: 3, Pin: 0}}},
+			{Pins: []circuit.PinRef{{Device: 3, Pin: 0}, {Device: 4, Pin: 0}, {Device: 5, Pin: 0}}},
+			{Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 5, Pin: 0}}},
+		},
+	}
+}
+
+func randomPlacement(n *circuit.Netlist, rng *rand.Rand, spread float64) *circuit.Placement {
+	p := circuit.NewPlacement(n)
+	for i := range p.X {
+		p.X[i] = rng.Float64() * spread
+		p.Y[i] = rng.Float64() * spread
+	}
+	return p
+}
+
+func TestProbInRange(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPlacement(n, rng, 30)
+		out := m.Prob(n, p)
+		if out <= 0 || out >= 1 || math.IsNaN(out) {
+			t.Fatalf("Prob = %g not in (0,1)", out)
+		}
+	}
+}
+
+func TestProbTranslationInvariant(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	rng := rand.New(rand.NewSource(3))
+	p := randomPlacement(n, rng, 30)
+	base := m.Prob(n, p)
+	for i := range p.X {
+		p.X[i] += 123.4
+		p.Y[i] -= 55.5
+	}
+	shifted := m.Prob(n, p)
+	if math.Abs(base-shifted) > 1e-9 {
+		t.Errorf("Prob not translation invariant: %g vs %g", base, shifted)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	n := testNetlist()
+	m1 := New(n, 0, 7)
+	m2 := New(n, 0, 7)
+	p := randomPlacement(n, rand.New(rand.NewSource(4)), 25)
+	if m1.Prob(n, p) != m2.Prob(n, p) {
+		t.Error("same seed models disagree")
+	}
+}
+
+func TestProbGradFiniteDifference(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 5)
+	rng := rand.New(rand.NewSource(6))
+	p := randomPlacement(n, rng, 40)
+	nd := len(n.Devices)
+	gx := make([]float64, nd)
+	gy := make([]float64, nd)
+	m.ProbGrad(p, gx, gy)
+	const h = 1e-5
+	for i := 0; i < nd; i++ {
+		p.X[i] += h
+		fp := m.Prob(n, p)
+		p.X[i] -= 2 * h
+		fm := m.Prob(n, p)
+		p.X[i] += h
+		fd := (fp - fm) / (2 * h)
+		if math.Abs(fd-gx[i]) > 1e-5+1e-3*math.Abs(fd) {
+			t.Errorf("dΦ/dx[%d]: analytic %g vs FD %g", i, gx[i], fd)
+		}
+		p.Y[i] += h
+		fp = m.Prob(n, p)
+		p.Y[i] -= 2 * h
+		fm = m.Prob(n, p)
+		p.Y[i] += h
+		fd = (fp - fm) / (2 * h)
+		if math.Abs(fd-gy[i]) > 1e-5+1e-3*math.Abs(fd) {
+			t.Errorf("dΦ/dy[%d]: analytic %g vs FD %g", i, gy[i], fd)
+		}
+	}
+}
+
+func TestParamGradFiniteDifference(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 8)
+	p := randomPlacement(n, rand.New(rand.NewSource(9)), 30)
+
+	pg := newGrads()
+	m.forward(p, &m.scratch)
+	m.backward(&m.scratch, 1, pg, nil, nil)
+	flatG := pg.flatten(nil)
+
+	flat := m.flatten(nil)
+	const h = 1e-6
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		j := rng.Intn(len(flat))
+		orig := flat[j]
+		flat[j] = orig + h
+		m.unflatten(flat)
+		fp := m.Prob(n, p)
+		flat[j] = orig - h
+		m.unflatten(flat)
+		fm := m.Prob(n, p)
+		flat[j] = orig
+		m.unflatten(flat)
+		fd := (fp - fm) / (2 * h)
+		if math.Abs(fd-flatG[j]) > 1e-6+1e-3*math.Abs(fd) {
+			t.Errorf("param %d: analytic %g vs FD %g", j, flatG[j], fd)
+		}
+	}
+}
+
+// TestTrainingLearnsSpreadPattern: label placements "bad" when their bbox
+// is wide; a trained model should predict that pattern on held-out data.
+func TestTrainingLearnsSpreadPattern(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 40, 11)
+	rng := rand.New(rand.NewSource(12))
+	var samples []Sample
+	for k := 0; k < 240; k++ {
+		spread := 10 + rng.Float64()*50
+		p := randomPlacement(n, rng, spread)
+		bad := n.BoundingBox(p).W() > 30
+		samples = append(samples, Sample{
+			X:   append([]float64(nil), p.X...),
+			Y:   append([]float64(nil), p.Y...),
+			Bad: bad,
+		})
+	}
+	stats, err := m.Train(samples, TrainOptions{Seed: 13, Epochs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ValAccuracy < 0.8 {
+		t.Errorf("validation accuracy %.2f < 0.8 (loss %.3f)", stats.ValAccuracy, stats.FinalLoss)
+	}
+	if stats.FinalLoss > 0.5 {
+		t.Errorf("final training loss %.3f too high", stats.FinalLoss)
+	}
+}
+
+func TestTrainRejectsTinyDataset(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	if _, err := m.Train([]Sample{{}, {}}, TrainOptions{}); err == nil {
+		t.Error("expected error for tiny dataset")
+	}
+}
+
+func TestProbPanicsOnForeignNetlist(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	other := testNetlist()
+	defer func() {
+		if recover() == nil {
+			t.Error("Prob accepted a foreign netlist")
+		}
+	}()
+	m.Prob(other, circuit.NewPlacement(other))
+}
+
+func TestFlattenUnflattenRoundtrip(t *testing.T) {
+	n := testNetlist()
+	m := New(n, 0, 14)
+	flat := m.flatten(nil)
+	flat2 := append([]float64(nil), flat...)
+	for i := range flat2 {
+		flat2[i] += 1.5
+	}
+	m.unflatten(flat2)
+	got := m.flatten(nil)
+	for i := range got {
+		if got[i] != flat2[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkProb(b *testing.B) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	p := randomPlacement(n, rand.New(rand.NewSource(1)), 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prob(n, p)
+	}
+}
+
+func BenchmarkProbGrad(b *testing.B) {
+	n := testNetlist()
+	m := New(n, 0, 1)
+	p := randomPlacement(n, rand.New(rand.NewSource(1)), 30)
+	gx := make([]float64, len(n.Devices))
+	gy := make([]float64, len(n.Devices))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ProbGrad(p, gx, gy)
+	}
+}

@@ -1,0 +1,134 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nlopt"
+)
+
+// Sample is one training example: a placement (as raw coordinate slices so
+// datasets stay compact) and its label — true when circuit performance is
+// unsatisfactory (FOM below threshold), matching [19]'s labeling.
+type Sample struct {
+	X, Y []float64
+	Bad  bool
+}
+
+// TrainOptions configures training.
+type TrainOptions struct {
+	Epochs    int     // default 60
+	BatchSize int     // default 16
+	LR        float64 // default 3e-3
+	Seed      int64
+	ValFrac   float64 // fraction held out for validation accuracy (default 0.2)
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 60
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 16
+	}
+	if o.LR == 0 {
+		o.LR = 3e-3
+	}
+	if o.ValFrac == 0 {
+		o.ValFrac = 0.2
+	}
+}
+
+// TrainStats reports the training outcome.
+type TrainStats struct {
+	FinalLoss   float64 // mean training cross-entropy of the last epoch
+	ValAccuracy float64 // held-out accuracy at threshold 0.5
+	Epochs      int
+}
+
+// Train fits the model with Adam on binary cross-entropy, the loss the
+// paper uses for its GNN. The sample slice is not modified.
+func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("gnn: need at least 4 samples, have %d", len(samples))
+	}
+	opt.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	idx := rng.Perm(len(samples))
+	nVal := int(float64(len(samples)) * opt.ValFrac)
+	if nVal < 1 {
+		nVal = 1
+	}
+	val, train := idx[:nVal], idx[nVal:]
+	if len(train) == 0 {
+		return nil, fmt.Errorf("gnn: no training samples after validation split")
+	}
+
+	flat := m.flatten(nil)
+	gradFlat := make([]float64, len(flat))
+	adam := nlopt.NewAdam(opt.LR)
+	pg := newGrads()
+
+	p := m.scratchPlacement()
+	var lastLoss float64
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		shuffled := append([]int(nil), train...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var epochLoss float64
+		for start := 0; start < len(shuffled); start += opt.BatchSize {
+			end := start + opt.BatchSize
+			if end > len(shuffled) {
+				end = len(shuffled)
+			}
+			batch := shuffled[start:end]
+			pg.zero()
+			var loss float64
+			for _, si := range batch {
+				s := &samples[si]
+				copy(p.X, s.X)
+				copy(p.Y, s.Y)
+				out := m.forward(p, &m.scratch)
+				y := 0.0
+				if s.Bad {
+					y = 1
+				}
+				loss += bce(out, y)
+				// dL/dout for BCE: (out − y) / (out·(1−out)); composed with
+				// the sigmoid derivative inside backward this telescopes to
+				// the numerically stable (out − y) on dL/ds. Pass it through
+				// dOut with the sigmoid factor pre-divided.
+				dOut := (out - y) / math.Max(out*(1-out), 1e-9)
+				m.backward(&m.scratch, dOut/float64(len(batch)), pg, nil, nil)
+			}
+			epochLoss += loss
+			pg.flatten(gradFlat)
+			adam.Step(flat, gradFlat)
+			m.unflatten(flat)
+		}
+		lastLoss = epochLoss / float64(len(train))
+	}
+
+	correct := 0
+	for _, si := range val {
+		s := &samples[si]
+		copy(p.X, s.X)
+		copy(p.Y, s.Y)
+		out := m.forward(p, &m.scratch)
+		if (out > 0.5) == s.Bad {
+			correct++
+		}
+	}
+	return &TrainStats{
+		FinalLoss:   lastLoss,
+		ValAccuracy: float64(correct) / float64(len(val)),
+		Epochs:      opt.Epochs,
+	}, nil
+}
+
+// bce is binary cross-entropy with clamping for numerical safety.
+func bce(p, y float64) float64 {
+	p = math.Min(math.Max(p, 1e-9), 1-1e-9)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}

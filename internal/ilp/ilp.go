@@ -1,0 +1,183 @@
+// Package ilp solves small mixed-integer linear programs by LP-based branch
+// and bound over package lp. It exists for the paper's detailed-placement
+// formulation (Eq. 4a–4j), where the integer variables are the binary
+// device-flipping decisions; analog problem sizes keep the tree small, and
+// a node cap bounds worst-case runtime the way practical ILP time limits do.
+package ilp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Problem couples an LP with integrality requirements.
+type Problem struct {
+	LP   *lp.Problem
+	Ints []int // variable indices that must take integer values
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	MaxNodes int     // node cap (default 2000)
+	Tol      float64 // integrality tolerance (default 1e-6)
+
+	// Incumbent optionally seeds the search with a known feasible solution
+	// (its objective prunes the tree immediately). IncumbentObj must be the
+	// exact objective of Incumbent.
+	Incumbent    []float64
+	IncumbentObj float64
+}
+
+// Status reports the outcome of a branch-and-bound run.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the tree was fully explored; the returned solution is a
+	// global optimum.
+	Optimal Status = iota
+	// Feasible: the node cap was hit; the returned solution is the best
+	// integer-feasible point found, with no optimality guarantee.
+	Feasible
+	// Infeasible: no integer-feasible point exists.
+	Infeasible
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	default:
+		return "infeasible"
+	}
+}
+
+// Solution is the result of a branch-and-bound run.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Nodes  int // LP nodes solved
+}
+
+// ErrNoSolution is returned when the node cap is exhausted before any
+// integer-feasible point is found.
+var ErrNoSolution = errors.New("ilp: node limit reached without a feasible solution")
+
+// node is a set of branching bounds on integer variables.
+type node struct {
+	lb map[int]float64
+	ub map[int]float64
+}
+
+func (nd *node) child(j int, lb, ub float64, isLB bool) *node {
+	c := &node{lb: make(map[int]float64, len(nd.lb)+1), ub: make(map[int]float64, len(nd.ub)+1)}
+	for k, v := range nd.lb {
+		c.lb[k] = v
+	}
+	for k, v := range nd.ub {
+		c.ub[k] = v
+	}
+	if isLB {
+		if old, ok := c.lb[j]; !ok || lb > old {
+			c.lb[j] = lb
+		}
+	} else {
+		if old, ok := c.ub[j]; !ok || ub < old {
+			c.ub[j] = ub
+		}
+	}
+	return c
+}
+
+// Solve runs depth-first branch and bound. A non-nil error indicates an LP
+// solver failure or an exhausted node cap with no feasible point; Status
+// distinguishes proven optima from cap-limited bests.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 2000
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	bestObj := math.Inf(1)
+	var bestX []float64
+	if opt.Incumbent != nil {
+		bestObj = opt.IncumbentObj
+		bestX = append([]float64(nil), opt.Incumbent...)
+	}
+
+	stack := []*node{{lb: map[int]float64{}, ub: map[int]float64{}}}
+	nodes := 0
+	capped := false
+
+	for len(stack) > 0 {
+		if nodes >= opt.MaxNodes {
+			capped = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sub := p.LP.Clone()
+		for j, v := range nd.lb {
+			sub.AddConstraint([]lp.Term{{Var: j, Coeff: 1}}, lp.GE, v)
+		}
+		for j, v := range nd.ub {
+			sub.AddConstraint([]lp.Term{{Var: j, Coeff: 1}}, lp.LE, v)
+		}
+		sol, err := lp.Solve(sub)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible (or unbounded relaxation: nothing to explore)
+		}
+		if sol.Obj >= bestObj-1e-9 {
+			continue // bound
+		}
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worstFrac := opt.Tol
+		for _, j := range p.Ints {
+			f := sol.X[j] - math.Floor(sol.X[j])
+			frac := math.Min(f, 1-f)
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			bestObj = sol.Obj
+			bestX = append([]float64(nil), sol.X...)
+			continue
+		}
+		v := sol.X[branchVar]
+		down := nd.child(branchVar, 0, math.Floor(v), false)
+		up := nd.child(branchVar, math.Ceil(v), 0, true)
+		// Dive toward the nearer integer first (pushed last = popped first).
+		if v-math.Floor(v) < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	if bestX == nil {
+		if capped {
+			return &Solution{Status: Infeasible, Nodes: nodes}, ErrNoSolution
+		}
+		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+	}
+	st := Optimal
+	if capped {
+		st = Feasible
+	}
+	return &Solution{Status: st, X: bestX, Obj: bestObj, Nodes: nodes}, nil
+}

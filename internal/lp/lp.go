@@ -1,0 +1,438 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ
+//	            x ≥ 0
+//
+// It is the optimization substrate for the detailed placers: the paper's
+// ILP-based legalization/detailed placement of ePlace-A (via package ilp)
+// and the two-stage LP detailed placement of the previous analytical work.
+// Problem sizes in analog placement are small (hundreds of rows/columns),
+// for which a dense tableau with Dantzig pricing and a Bland anti-cycling
+// fallback is fast and dependable.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // aᵀx ≤ b
+	GE              // aᵀx ≥ b
+	EQ              // aᵀx = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly non-negative; add explicit rows for other bounds.
+type Problem struct {
+	numVars int
+	obj     []float64
+	rows    []row
+}
+
+// NewProblem creates a problem with n non-negative variables and a zero
+// objective.
+func NewProblem(n int) *Problem {
+	return &Problem{numVars: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObj sets the objective coefficient of variable j.
+func (p *Problem) SetObj(j int, c float64) {
+	p.obj[j] = c
+}
+
+// AddObj adds c to the objective coefficient of variable j.
+func (p *Problem) AddObj(j int, c float64) {
+	p.obj[j] += c
+}
+
+// AddConstraint appends the constraint Σ terms {sense} rhs. Terms may
+// repeat a variable; coefficients accumulate.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			panic(fmt.Sprintf("lp: constraint references variable %d of %d", t.Var, p.numVars))
+		}
+	}
+	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), sense: sense, rhs: rhs})
+}
+
+// Clone returns an independent copy of the problem, so branch-and-bound can
+// add branching rows without disturbing siblings.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		numVars: p.numVars,
+		obj:     append([]float64(nil), p.obj...),
+		rows:    make([]row, len(p.rows)),
+	}
+	// Rows are immutable after AddConstraint copies them, so sharing the
+	// term slices is safe.
+	copy(q.rows, p.rows)
+	return q
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status Status
+	X      []float64 // structural variable values (valid when Optimal)
+	Obj    float64   // objective value (valid when Optimal)
+}
+
+// Errors returned by Solve.
+var (
+	ErrIterLimit = errors.New("lp: simplex iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Solve optimizes the problem with the two-phase primal simplex method.
+// A non-nil error indicates a solver failure (iteration limit); infeasible
+// and unbounded models are reported through Solution.Status with a nil
+// error.
+func Solve(p *Problem) (*Solution, error) {
+	m := len(p.rows)
+	n := p.numVars
+
+	// Column layout: [0,n) structural, then one slack/surplus per
+	// inequality row, then one artificial per row that needs one.
+	numSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			numSlack++
+		}
+	}
+	// Count artificials after rhs normalization: a row needs an artificial
+	// unless it is an inequality whose slack can start basic (b ≥ 0 after
+	// normalization and sense LE).
+	type rowInfo struct {
+		flip     bool // multiply row by -1 so rhs ≥ 0
+		sense    Sense
+		slackCol int // -1 if none
+		artCol   int // -1 if none
+	}
+	info := make([]rowInfo, m)
+	col := n
+	for i, r := range p.rows {
+		ri := rowInfo{sense: r.sense, slackCol: -1, artCol: -1}
+		rhs := r.rhs
+		if rhs < 0 {
+			ri.flip = true
+			rhs = -rhs
+			switch r.sense {
+			case LE:
+				ri.sense = GE
+			case GE:
+				ri.sense = LE
+			}
+		}
+		if ri.sense != EQ {
+			ri.slackCol = col
+			col++
+		}
+		info[i] = ri
+	}
+	numArt := 0
+	for i := range info {
+		// LE with b ≥ 0: slack is the initial basic variable. GE and EQ
+		// need an artificial.
+		if info[i].sense != LE {
+			info[i].artCol = col
+			col++
+			numArt++
+		}
+	}
+	totalCols := col
+	_ = numSlack
+
+	// Dense tableau: m rows × (totalCols + 1); last column is rhs.
+	width := totalCols + 1
+	tab := make([]float64, m*width)
+	basis := make([]int, m)
+	for i, r := range p.rows {
+		ri := info[i]
+		sign := 1.0
+		rhs := r.rhs
+		if ri.flip {
+			sign = -1
+			rhs = -rhs
+		}
+		rowSlice := tab[i*width : (i+1)*width]
+		for _, t := range r.terms {
+			rowSlice[t.Var] += sign * t.Coeff
+		}
+		if ri.slackCol >= 0 {
+			if ri.sense == LE {
+				rowSlice[ri.slackCol] = 1
+			} else {
+				rowSlice[ri.slackCol] = -1 // surplus
+			}
+		}
+		if ri.artCol >= 0 {
+			rowSlice[ri.artCol] = 1
+			basis[i] = ri.artCol
+		} else {
+			basis[i] = ri.slackCol
+		}
+		rowSlice[totalCols] = rhs
+	}
+
+	isArt := make([]bool, totalCols)
+	for i := range info {
+		if info[i].artCol >= 0 {
+			isArt[info[i].artCol] = true
+		}
+	}
+
+	s := &simplex{
+		tab:    tab,
+		m:      m,
+		width:  width,
+		nCols:  totalCols,
+		basis:  basis,
+		banned: isArt,
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		cost := make([]float64, totalCols)
+		for j := range cost {
+			if isArt[j] {
+				cost[j] = 1
+			}
+		}
+		s.initCostRow(cost)
+		status, err := s.iterate(false)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; cannot happen.
+			return nil, errors.New("lp: internal: phase-1 unbounded")
+		}
+		if s.objValue() > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Pivot basic artificials (at value 0) out of the basis when a
+		// non-artificial pivot exists; otherwise the row is redundant and
+		// the artificial stays at zero.
+		for i := 0; i < m; i++ {
+			if !isArt[s.basis[i]] {
+				continue
+			}
+			rowSlice := s.tab[i*s.width : (i+1)*s.width]
+			for j := 0; j < totalCols; j++ {
+				if !isArt[j] && math.Abs(rowSlice[j]) > eps {
+					s.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective (artificial columns stay banned).
+	cost := make([]float64, totalCols)
+	copy(cost, p.obj)
+	s.initCostRow(cost)
+	status, err := s.iterate(true)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if b := s.basis[i]; b < n {
+			x[b] = s.tab[i*s.width+totalCols]
+		}
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+// simplex is the working state of a tableau solve.
+type simplex struct {
+	tab    []float64 // m × width, last column is rhs
+	m      int
+	width  int
+	nCols  int
+	basis  []int
+	banned []bool // columns that may not enter (artificials in phase 2)
+
+	costRow []float64 // reduced costs, length nCols+1 (last = -objective)
+}
+
+// initCostRow sets up reduced costs for the given cost vector by
+// subtracting the rows of the current basic variables.
+func (s *simplex) initCostRow(cost []float64) {
+	cr := make([]float64, s.nCols+1)
+	copy(cr, cost)
+	for i := 0; i < s.m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		rowSlice := s.tab[i*s.width : (i+1)*s.width]
+		for j := 0; j <= s.nCols; j++ {
+			cr[j] -= cb * rowSlice[j]
+		}
+	}
+	s.costRow = cr
+}
+
+// objValue returns the current objective value.
+func (s *simplex) objValue() float64 { return -s.costRow[s.nCols] }
+
+// iterate runs simplex pivots until optimality, unboundedness, or the
+// iteration limit. banArtificials keeps artificial columns from entering.
+func (s *simplex) iterate(banArtificials bool) (Status, error) {
+	maxIter := 200 * (s.m + s.nCols + 10)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		enter := -1
+		if iter < blandAfter {
+			// Dantzig: most negative reduced cost.
+			best := -eps
+			for j := 0; j < s.nCols; j++ {
+				if banArtificials && s.banned[j] {
+					continue
+				}
+				if s.costRow[j] < best {
+					best = s.costRow[j]
+					enter = j
+				}
+			}
+		} else {
+			// Bland: first negative reduced cost (anti-cycling).
+			for j := 0; j < s.nCols; j++ {
+				if banArtificials && s.banned[j] {
+					continue
+				}
+				if s.costRow[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			a := s.tab[i*s.width+enter]
+			if a > eps {
+				ratio := s.tab[i*s.width+s.nCols] / a
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && leave >= 0 && s.basis[i] < s.basis[leave]) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		s.pivot(leave, enter)
+	}
+	return Optimal, ErrIterLimit
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis
+// and cost row.
+func (s *simplex) pivot(row, col int) {
+	w := s.width
+	pr := s.tab[row*w : (row+1)*w]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // fight rounding
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		ri := s.tab[i*w : (i+1)*w]
+		f := ri[col]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	if s.costRow != nil {
+		f := s.costRow[col]
+		if f != 0 {
+			for j := 0; j <= s.nCols; j++ {
+				s.costRow[j] -= f * pr[j]
+			}
+			s.costRow[col] = 0
+		}
+	}
+	s.basis[row] = col
+}

@@ -1,0 +1,225 @@
+// Package prevwork implements the previous analytical analog placer the
+// paper compares against ([11], Xu et al. ISPD'19, the MAGICAL lineage,
+// itself built on the NTUplace3 framework [10]): global placement with
+// Log-Sum-Exponential wirelength smoothing and a bell-shaped bin-density
+// penalty, solved by conjugate gradient in epochs of increasing density
+// weight. Unlike ePlace-A it has no explicit area term, no electrostatic
+// model, and no Nesterov solver. Its legalization/detailed placement is the
+// two-stage LP in package detailed (ModeTwoStageLP).
+//
+// PlaceExtra adds an arbitrary gradient term to the objective — the "Perf*"
+// performance-driven extension of [11] evaluated in Tables V and VII.
+package prevwork
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/density"
+	"repro/internal/eplacea"
+	"repro/internal/geom"
+	"repro/internal/nlopt"
+	"repro/internal/wl"
+)
+
+// Options configures the NTUplace3-style global placement.
+type Options struct {
+	Seed int64
+
+	// GridM is the bin grid dimension (default 64).
+	GridM int
+	// Util sets the placement-region utilization (default 0.5).
+	Util float64
+	// SymWeight scales the soft symmetry penalty (default 0.4).
+	SymWeight float64
+	// Epochs of conjugate gradient with doubling density weight
+	// (default 14).
+	Epochs int
+	// ItersPerEpoch caps CG iterations per epoch (default 100).
+	ItersPerEpoch int
+	// ExtraWeight scales the optional extra objective term (the Perf*
+	// extension) relative to the wirelength gradient (default 0.5).
+	ExtraWeight float64
+}
+
+func (o *Options) defaults() {
+	if o.GridM == 0 {
+		o.GridM = 64
+	}
+	if o.Util == 0 {
+		o.Util = 0.5
+	}
+	if o.SymWeight == 0 {
+		o.SymWeight = 0.4
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 14
+	}
+	if o.ItersPerEpoch == 0 {
+		o.ItersPerEpoch = 100
+	}
+	if o.ExtraWeight == 0 {
+		o.ExtraWeight = 0.5
+	}
+}
+
+// Result reports the global-placement outcome.
+type Result struct {
+	Placement  *circuit.Placement
+	Iterations int
+	HPWL       float64
+	Region     geom.Rect
+}
+
+// Place runs the [11]-style global placement.
+func Place(n *circuit.Netlist, opt Options) (*Result, error) {
+	return PlaceExtra(n, opt, nil)
+}
+
+// PlaceExtra runs global placement with an additional objective term (the
+// Perf* extension).
+func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	nd := len(n.Devices)
+
+	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
+	region := geom.RectWH(0, 0, side, side)
+	bell := density.NewBell(opt.GridM, region, 1.0)
+	binW := side / float64(opt.GridM)
+
+	wlEv := wl.NewEvaluator(n, wl.LSE, 4*binW)
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	p := circuit.NewPlacement(n)
+	cx, cy := region.Center().X, region.Center().Y
+	for i := 0; i < nd; i++ {
+		p.X[i] = cx + (rng.Float64()-0.5)*side*0.15
+		p.Y[i] = cy + (rng.Float64()-0.5)*side*0.15
+	}
+
+	gx := make([]float64, nd)
+	gy := make([]float64, nd)
+	sgx := make([]float64, nd)
+	sgy := make([]float64, nd)
+	zero := func(v []float64) {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+
+	// Calibrate the initial density and symmetry weights against the
+	// wirelength gradient, NTUplace3-style.
+	zero(gx)
+	zero(gy)
+	wlEv.Eval(p, gx, gy)
+	wlNorm := nlopt.Norm1(gx) + nlopt.Norm1(gy) + 1e-12
+	bell.Update(n, p)
+	zero(sgx)
+	zero(sgy)
+	bell.AddGrad(n, p, sgx, sgy)
+	dNorm := nlopt.Norm1(sgx) + nlopt.Norm1(sgy) + 1e-12
+	beta := 2e-2 * wlNorm / dNorm
+
+	zero(sgx)
+	zero(sgy)
+	eplacea.SymPenalty(n, p, sgx, sgy)
+	sNorm := nlopt.Norm1(sgx) + nlopt.Norm1(sgy)
+	if sNorm < 1e-12 {
+		sNorm = wlNorm
+	}
+	tau := opt.SymWeight * wlNorm / sNorm
+
+	alpha := 0.0
+	if extra != nil {
+		zero(sgx)
+		zero(sgy)
+		extra(p, sgx, sgy)
+		exNorm := nlopt.Norm1(sgx) + nlopt.Norm1(sgy)
+		if exNorm < 1e-12 {
+			exNorm = wlNorm
+		}
+		alpha = opt.ExtraWeight * wlNorm / exNorm
+	}
+
+	objective := func(x, grad []float64) float64 {
+		copy(p.X, x[:nd])
+		copy(p.Y, x[nd:])
+		zero(gx)
+		zero(gy)
+		f := wlEv.Eval(p, gx, gy)
+
+		bell.Update(n, p)
+		f += beta * bell.Penalty()
+		zero(sgx)
+		zero(sgy)
+		bell.AddGrad(n, p, sgx, sgy)
+		for i := 0; i < nd; i++ {
+			gx[i] += beta * sgx[i]
+			gy[i] += beta * sgy[i]
+		}
+
+		if len(n.SymGroups) > 0 {
+			zero(sgx)
+			zero(sgy)
+			f += tau * eplacea.SymPenalty(n, p, sgx, sgy)
+			for i := 0; i < nd; i++ {
+				gx[i] += tau * sgx[i]
+				gy[i] += tau * sgy[i]
+			}
+		}
+		if extra != nil {
+			zero(sgx)
+			zero(sgy)
+			f += alpha * extra(p, sgx, sgy)
+			for i := 0; i < nd; i++ {
+				gx[i] += alpha * sgx[i]
+				gy[i] += alpha * sgy[i]
+			}
+		}
+		copy(grad[:nd], gx)
+		copy(grad[nd:], gy)
+		return f
+	}
+
+	x := make([]float64, 2*nd)
+	copy(x[:nd], p.X)
+	copy(x[nd:], p.Y)
+
+	totalIters := 0
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		_, it := nlopt.CG(objective, x, nlopt.CGOptions{
+			MaxIter:  opt.ItersPerEpoch,
+			GradTol:  1e-7,
+			InitStep: binW,
+		})
+		totalIters += it
+		beta *= 2
+		tau *= 1.5
+	}
+	copy(p.X, x[:nd])
+	copy(p.Y, x[nd:])
+	clamp(n, p, region)
+	for gi := range n.SymGroups {
+		p.AxisX[gi] = eplacea.OptimalAxis(n, p, gi)
+	}
+	n.Normalize(p)
+
+	return &Result{
+		Placement:  p,
+		Iterations: totalIters,
+		HPWL:       n.HPWL(p),
+		Region:     region,
+	}, nil
+}
+
+func clamp(n *circuit.Netlist, p *circuit.Placement, region geom.Rect) {
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		p.X[i] = geom.Interval{Lo: region.Lo.X + d.W/2, Hi: region.Hi.X - d.W/2}.Clamp(p.X[i])
+		p.Y[i] = geom.Interval{Lo: region.Lo.Y + d.H/2, Hi: region.Hi.Y - d.H/2}.Clamp(p.Y[i])
+	}
+}

@@ -1,0 +1,131 @@
+package prevwork
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/detailed"
+	"repro/internal/geom"
+)
+
+func testNetlist() *circuit.Netlist {
+	mk := func(name string, ty circuit.DeviceType, w, h float64) circuit.Device {
+		return circuit.Device{
+			Name: name, Type: ty, W: w, H: h,
+			Pins: []circuit.Pin{
+				{Name: "a", Offset: geom.Point{X: w * 0.25, Y: h / 2}},
+				{Name: "b", Offset: geom.Point{X: w * 0.75, Y: h / 2}},
+			},
+		}
+	}
+	return &circuit.Netlist{
+		Name: "prev-test",
+		Devices: []circuit.Device{
+			mk("M1", circuit.NMOS, 6, 4), mk("M2", circuit.NMOS, 6, 4),
+			mk("M3", circuit.PMOS, 5, 3), mk("M4", circuit.PMOS, 5, 3),
+			mk("MT", circuit.NMOS, 8, 3),
+			mk("B1", circuit.NMOS, 4, 4), mk("B2", circuit.Cap, 7, 5),
+			mk("B3", circuit.Cap, 7, 5), mk("R1", circuit.Res, 3, 6),
+		},
+		Nets: []circuit.Net{
+			{Name: "n1", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 5, Pin: 1}}},
+			{Name: "n2", Pins: []circuit.PinRef{{Device: 1, Pin: 1}, {Device: 5, Pin: 0}}},
+			{Name: "n3", Pins: []circuit.PinRef{{Device: 0, Pin: 1}, {Device: 2, Pin: 0}, {Device: 6, Pin: 0}}},
+			{Name: "n4", Pins: []circuit.PinRef{{Device: 1, Pin: 0}, {Device: 3, Pin: 1}, {Device: 7, Pin: 1}}},
+			{Name: "n5", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 1}, {Device: 4, Pin: 0}}},
+			{Name: "n6", Pins: []circuit.PinRef{{Device: 8, Pin: 0}, {Device: 6, Pin: 1}, {Device: 2, Pin: 1}}},
+		},
+		SymGroups: []circuit.SymmetryGroup{
+			{Pairs: [][2]int{{0, 1}, {2, 3}}, Self: []int{4}},
+		},
+	}
+}
+
+func TestPlaceRuns(t *testing.T) {
+	n := testNetlist()
+	res, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations run")
+	}
+	if res.HPWL <= 0 {
+		t.Error("HPWL not recorded")
+	}
+	// GP should leave modest overlap for legalization to fix.
+	frac := n.TotalOverlap(res.Placement) / n.TotalDeviceArea()
+	if frac > 0.35 {
+		t.Errorf("residual overlap fraction %.3f very high", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	n := testNetlist()
+	r1, err := Place(n, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Place(n, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Placement.X {
+		if r1.Placement.X[i] != r2.Placement.X[i] {
+			t.Fatal("nondeterministic placement")
+		}
+	}
+}
+
+func TestFullFlowWithTwoStageLP(t *testing.T) {
+	n := testNetlist()
+	gp, err := Place(n, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := detailed.Place(n, gp.Placement, detailed.Options{Mode: detailed.ModeTwoStageLP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := n.CheckLegal(dp.Placement, 1e-6); !rep.OK() {
+		t.Fatalf("full [11] flow produced illegal placement: %v", rep.Err())
+	}
+}
+
+func TestExtraTermInfluences(t *testing.T) {
+	n := testNetlist()
+	base, err := Place(n, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := func(p *circuit.Placement, gx, gy []float64) float64 {
+		// Strong pull of device 8 toward x = 0.
+		gx[8] += 50 * 2 * p.X[8]
+		return 50 * p.X[8] * p.X[8]
+	}
+	pulled, err := PlaceExtra(n, Options{Seed: 2}, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled.Placement.X[8] > base.Placement.X[8]+1e-9 {
+		t.Errorf("extra term had no effect: %.2f vs %.2f", pulled.Placement.X[8], base.Placement.X[8])
+	}
+}
+
+func TestInvalidNetlistRejected(t *testing.T) {
+	n := testNetlist()
+	n.Devices[0].H = -2
+	if _, err := Place(n, Options{Seed: 1}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func BenchmarkPrevGlobalPlace(b *testing.B) {
+	n := testNetlist()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(n, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package route implements a congestion-aware global router — the stand-in
+// for the ALIGN router the paper uses before parasitic extraction. Nets are
+// routed one pin at a time over a uniform grid with Dijkstra search from
+// the already-routed tree (a sequential Steiner heuristic); cell usage
+// feeds back into edge costs so later nets detour around congestion. The
+// routed lengths refine the HPWL-based parasitic estimates and let the
+// evaluation report post-route wirelength like the paper does.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Options configures the router.
+type Options struct {
+	// GridCells is the routing-grid resolution per side (default 64).
+	GridCells int
+	// Capacity is the number of net tracks a cell accommodates before it
+	// counts as overflowed (default 6).
+	Capacity int
+	// CongestionWeight scales the extra cost of entering an occupied cell
+	// (default 0.5 per track already present).
+	CongestionWeight float64
+}
+
+func (o *Options) defaults() {
+	if o.GridCells == 0 {
+		o.GridCells = 64
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 6
+	}
+	if o.CongestionWeight == 0 {
+		o.CongestionWeight = 0.5
+	}
+}
+
+// Result reports the routing outcome.
+type Result struct {
+	// NetLength is the routed wire length per net in grid units (the same
+	// units as HPWL, so the two are directly comparable).
+	NetLength []float64
+	// TotalLength sums NetLength.
+	TotalLength float64
+	// MaxUsage is the most tracks any cell carries.
+	MaxUsage int
+	// OverflowCells counts cells above capacity.
+	OverflowCells int
+}
+
+// Route globally routes every net of the placement.
+func Route(n *circuit.Netlist, p *circuit.Placement, opt Options) (*Result, error) {
+	if err := n.CheckSized(p); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	g := opt.GridCells
+
+	bb := n.BoundingBox(p)
+	if bb.Empty() {
+		return nil, fmt.Errorf("route: empty placement bounding box")
+	}
+	// A one-cell margin lets routes escape around boundary devices.
+	cellW := bb.W() / float64(g-2)
+	cellH := bb.H() / float64(g-2)
+	originX := bb.Lo.X - cellW
+	originY := bb.Lo.Y - cellH
+	cellOf := func(x, y float64) (int, int) {
+		cx := int((x - originX) / cellW)
+		cy := int((y - originY) / cellH)
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= g {
+			cx = g - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= g {
+			cy = g - 1
+		}
+		return cx, cy
+	}
+
+	usage := make([]int, g*g)
+	res := &Result{NetLength: make([]float64, len(n.Nets))}
+
+	// Route larger-fanout nets first: they benefit most from free tracks.
+	order := make([]int, len(n.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && len(n.Nets[order[j]].Pins) > len(n.Nets[order[j-1]].Pins); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	r := &router{
+		g: g, usage: usage, opt: &opt,
+		dist: make([]float64, g*g),
+		prev: make([]int32, g*g),
+		cellCost: func(idx int) float64 {
+			return 1 + opt.CongestionWeight*float64(usage[idx])
+		},
+	}
+
+	for _, e := range order {
+		net := &n.Nets[e]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		// Pin cells, deduplicated.
+		seen := map[int]bool{}
+		var pins []int
+		for _, pr := range net.Pins {
+			pt := n.PinPos(p, pr)
+			cx, cy := cellOf(pt.X, pt.Y)
+			idx := cy*g + cx
+			if !seen[idx] {
+				seen[idx] = true
+				pins = append(pins, idx)
+			}
+		}
+		if len(pins) < 2 {
+			continue // all pins share a cell: zero routed length
+		}
+		tree := map[int]bool{pins[0]: true}
+		var cells int
+		for _, target := range pins[1:] {
+			if tree[target] {
+				continue
+			}
+			path, err := r.dijkstra(tree, target)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %s: %w", net.Name, err)
+			}
+			for _, idx := range path {
+				if !tree[idx] {
+					tree[idx] = true
+					usage[idx]++
+					cells++
+				}
+			}
+		}
+		// Length: cells traversed × average cell pitch.
+		res.NetLength[e] = float64(cells) * (cellW + cellH) / 2
+		res.TotalLength += res.NetLength[e]
+	}
+	for _, u := range usage {
+		if u > res.MaxUsage {
+			res.MaxUsage = u
+		}
+		if u > opt.Capacity {
+			res.OverflowCells++
+		}
+	}
+	return res, nil
+}
+
+// router holds the Dijkstra scratch state.
+type router struct {
+	g        int
+	usage    []int
+	opt      *Options
+	dist     []float64
+	prev     []int32
+	cellCost func(idx int) float64
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	idx  int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].idx < q[j].idx // deterministic tie-break
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
+// dijkstra finds the cheapest path from any tree cell to target, returning
+// the path cells (target back to, and including, the tree attachment).
+func (r *router) dijkstra(tree map[int]bool, target int) ([]int, error) {
+	g := r.g
+	for i := range r.dist {
+		r.dist[i] = math.Inf(1)
+		r.prev[i] = -1
+	}
+	srcs := make([]int, 0, len(tree))
+	for idx := range tree {
+		srcs = append(srcs, idx)
+	}
+	sort.Ints(srcs) // map order must not leak into route choices
+	q := make(pq, 0, len(srcs))
+	for _, idx := range srcs {
+		r.dist[idx] = 0
+		q = append(q, pqItem{idx, 0})
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > r.dist[it.idx] {
+			continue // stale entry
+		}
+		if it.idx == target {
+			break
+		}
+		cx, cy := it.idx%g, it.idx/g
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := cx+d[0], cy+d[1]
+			if nx < 0 || nx >= g || ny < 0 || ny >= g {
+				continue
+			}
+			nidx := ny*g + nx
+			nd := it.dist + r.cellCost(nidx)
+			if nd < r.dist[nidx] {
+				r.dist[nidx] = nd
+				r.prev[nidx] = int32(it.idx)
+				heap.Push(&q, pqItem{nidx, nd})
+			}
+		}
+	}
+	if math.IsInf(r.dist[target], 1) {
+		return nil, fmt.Errorf("no path to target cell %d", target)
+	}
+	var path []int
+	for idx := target; idx >= 0 && !tree[idx]; idx = int(r.prev[idx]) {
+		path = append(path, idx)
+		if r.prev[idx] < 0 {
+			break
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,187 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/testcircuits"
+)
+
+// pairNetlist: two single-pin devices connected by one net, placed apart.
+func pairNetlist(dx, dy float64) (*circuit.Netlist, *circuit.Placement) {
+	mk := func(name string) circuit.Device {
+		return circuit.Device{Name: name, W: 2, H: 2,
+			Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 1}}}}
+	}
+	n := &circuit.Netlist{
+		Name:    "pair",
+		Devices: []circuit.Device{mk("a"), mk("b")},
+		Nets:    []circuit.Net{{Name: "n", Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 0}}}},
+	}
+	p := circuit.NewPlacement(n)
+	p.X[0], p.Y[0] = 5, 5
+	p.X[1], p.Y[1] = 5+dx, 5+dy
+	return n, p
+}
+
+func TestTwoPinRouteNearManhattan(t *testing.T) {
+	n, p := pairNetlist(40, 30)
+	res, err := Route(n, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manhattan := 70.0
+	if res.NetLength[0] < manhattan*0.9 || res.NetLength[0] > manhattan*1.4 {
+		t.Errorf("routed length %.1f, want near Manhattan %.1f", res.NetLength[0], manhattan)
+	}
+	if res.TotalLength != res.NetLength[0] {
+		t.Errorf("total %.1f != net length %.1f", res.TotalLength, res.NetLength[0])
+	}
+}
+
+func TestRoutedAtLeastHPWLOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"Adder", "CC-OTA", "VGA"} {
+		cs, err := testcircuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := cs.Netlist
+		pr, err := core.Place(n, core.MethodPrev, core.Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Route(n, pr.Placement, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for e := range n.Nets {
+			if len(n.Nets[e].Pins) < 2 {
+				continue
+			}
+			hp := n.NetHPWL(pr.Placement, e)
+			// Routed Steiner trees cannot beat the half-perimeter lower
+			// bound by more than grid discretization.
+			grid := math.Sqrt(n.Area(pr.Placement)) / 16
+			if res.NetLength[e] < hp/2-grid {
+				t.Errorf("%s net %s: routed %.1f far below half-HPWL %.1f",
+					name, n.Nets[e].Name, res.NetLength[e], hp/2)
+			}
+		}
+		if res.TotalLength <= 0 {
+			t.Errorf("%s: no routed length", name)
+		}
+	}
+}
+
+func TestCongestionCausesDetours(t *testing.T) {
+	// Many identical parallel nets through the same corridor: with tight
+	// capacity and strong congestion pricing, later nets must detour, so
+	// total length exceeds #nets × Manhattan.
+	mk := func(name string) circuit.Device {
+		return circuit.Device{Name: name, W: 1, H: 1,
+			Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 0.5, Y: 0.5}}}}
+	}
+	n := &circuit.Netlist{Name: "congest"}
+	const k = 12
+	for i := 0; i < 2*k; i++ {
+		n.Devices = append(n.Devices, mk("d"))
+	}
+	p := circuit.NewPlacement(n)
+	for i := 0; i < k; i++ {
+		// All left pins at the same spot; all right pins at the same spot.
+		n.Nets = append(n.Nets, circuit.Net{
+			Name: "n",
+			Pins: []circuit.PinRef{{Device: i, Pin: 0}, {Device: k + i, Pin: 0}},
+		})
+		p.X[i], p.Y[i] = 2, 20
+		p.X[k+i], p.Y[k+i] = 60, 20
+	}
+	res, err := Route(n, p, Options{GridCells: 32, Capacity: 2, CongestionWeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minLen, maxLen float64 = math.Inf(1), 0
+	for _, l := range res.NetLength {
+		minLen = math.Min(minLen, l)
+		maxLen = math.Max(maxLen, l)
+	}
+	if maxLen <= minLen {
+		t.Errorf("congestion caused no detours: min %.1f max %.1f", minLen, maxLen)
+	}
+	if res.MaxUsage == 0 {
+		t.Error("usage not tracked")
+	}
+}
+
+func TestMultiPinTreeSharing(t *testing.T) {
+	// A 3-pin net in an L: the Steiner tree should share the trunk, so the
+	// tree is shorter than routing two independent 2-pin nets.
+	mk := func(name string) circuit.Device {
+		return circuit.Device{Name: name, W: 2, H: 2,
+			Pins: []circuit.Pin{{Name: "p", Offset: geom.Point{X: 1, Y: 1}}}}
+	}
+	n := &circuit.Netlist{
+		Name:    "steiner",
+		Devices: []circuit.Device{mk("a"), mk("b"), mk("c")},
+		Nets: []circuit.Net{{Name: "n", Pins: []circuit.PinRef{
+			{Device: 0, Pin: 0}, {Device: 1, Pin: 0}, {Device: 2, Pin: 0}}}},
+	}
+	p := circuit.NewPlacement(n)
+	p.X[0], p.Y[0] = 5, 5
+	p.X[1], p.Y[1] = 45, 5
+	p.X[2], p.Y[2] = 25, 35
+	res, err := Route(n, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := 40.0 + (20 + 30) // a-b plus c-to-midpoint style independent estimate
+	if res.NetLength[0] >= indep*1.1 {
+		t.Errorf("tree length %.1f shows no sharing (independent ≈ %.1f)", res.NetLength[0], indep)
+	}
+}
+
+func TestRouteRejectsBadInput(t *testing.T) {
+	n, p := pairNetlist(10, 10)
+	p.X = p.X[:1]
+	if _, err := Route(n, p, Options{}); err == nil {
+		t.Error("accepted wrong-sized placement")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cs, _ := testcircuits.ByName("Adder")
+	pr, err := core.Place(cs.Netlist, core.MethodPrev, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Route(cs.Netlist, pr.Placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Route(cs.Netlist, pr.Placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range r1.NetLength {
+		if r1.NetLength[e] != r2.NetLength[e] {
+			t.Fatalf("net %d: nondeterministic routing", e)
+		}
+	}
+}
+
+func BenchmarkRouteCCOTA(b *testing.B) {
+	cs, _ := testcircuits.ByName("CC-OTA")
+	pr, err := core.Place(cs.Netlist, core.MethodPrev, core.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(cs.Netlist, pr.Placement, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

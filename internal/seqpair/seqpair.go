@@ -1,0 +1,168 @@
+// Package seqpair implements the sequence-pair floorplan representation
+// used by the simulated-annealing baseline placer: a pair of block
+// permutations (Γ+, Γ−) encodes every pairwise left-of/below relation, and
+// longest-path packing converts it into a non-overlapping placement.
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Block is a rectangular object to pack.
+type Block struct {
+	W, H float64
+}
+
+// Pair is a sequence pair over n blocks: two permutations of {0..n-1}.
+// Block i is left of block j iff i precedes j in both sequences; i is below
+// j iff i follows j in Γ+ and precedes j in Γ−.
+type Pair struct {
+	Plus, Minus []int
+
+	posPlus, posMinus []int // inverse permutations, rebuilt on demand
+}
+
+// New returns the identity sequence pair over n blocks (all blocks in a
+// single row, left to right).
+func New(n int) *Pair {
+	p := &Pair{Plus: make([]int, n), Minus: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.Plus[i] = i
+		p.Minus[i] = i
+	}
+	return p
+}
+
+// Random returns a uniformly random sequence pair over n blocks.
+func Random(n int, rng *rand.Rand) *Pair {
+	p := &Pair{Plus: rng.Perm(n), Minus: rng.Perm(n)}
+	return p
+}
+
+// Clone returns an independent copy.
+func (p *Pair) Clone() *Pair {
+	return &Pair{
+		Plus:  append([]int(nil), p.Plus...),
+		Minus: append([]int(nil), p.Minus...),
+	}
+}
+
+// Len returns the number of blocks.
+func (p *Pair) Len() int { return len(p.Plus) }
+
+// SwapPlus exchanges positions i and j in Γ+.
+func (p *Pair) SwapPlus(i, j int) {
+	p.Plus[i], p.Plus[j] = p.Plus[j], p.Plus[i]
+}
+
+// SwapMinus exchanges positions i and j in Γ−.
+func (p *Pair) SwapMinus(i, j int) {
+	p.Minus[i], p.Minus[j] = p.Minus[j], p.Minus[i]
+}
+
+// SwapBoth exchanges the same two blocks in both sequences (by value, not
+// position): a classic SA move that translates a block without changing
+// relative order of the rest.
+func (p *Pair) SwapBoth(a, b int) {
+	p.rebuildPos()
+	i, j := p.posPlus[a], p.posPlus[b]
+	p.Plus[i], p.Plus[j] = p.Plus[j], p.Plus[i]
+	i, j = p.posMinus[a], p.posMinus[b]
+	p.Minus[i], p.Minus[j] = p.Minus[j], p.Minus[i]
+}
+
+func (p *Pair) rebuildPos() {
+	n := len(p.Plus)
+	if len(p.posPlus) != n {
+		p.posPlus = make([]int, n)
+		p.posMinus = make([]int, n)
+	}
+	for idx, b := range p.Plus {
+		p.posPlus[b] = idx
+	}
+	for idx, b := range p.Minus {
+		p.posMinus[b] = idx
+	}
+}
+
+// Validate checks that both sequences are permutations of the same length.
+func (p *Pair) Validate() error {
+	n := len(p.Plus)
+	if len(p.Minus) != n {
+		return fmt.Errorf("seqpair: sequence lengths differ: %d vs %d", n, len(p.Minus))
+	}
+	seen := make([]bool, n)
+	for _, b := range p.Plus {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("seqpair: Plus is not a permutation")
+		}
+		seen[b] = true
+	}
+	for i := range seen {
+		seen[i] = false
+	}
+	for _, b := range p.Minus {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("seqpair: Minus is not a permutation")
+		}
+		seen[b] = true
+	}
+	return nil
+}
+
+// Pack computes the minimal packing implied by the sequence pair: the
+// lower-left corner of each block plus the bounding width and height.
+// Runs the classic O(n²) longest-path evaluation.
+func (p *Pair) Pack(blocks []Block) (pos []geom.Point, W, H float64) {
+	n := len(blocks)
+	if n != len(p.Plus) {
+		panic("seqpair: block count does not match sequence length")
+	}
+	p.rebuildPos()
+	pos = make([]geom.Point, n)
+
+	// X: process blocks in Γ− order; x[b] = max over previously-seen a with
+	// posPlus[a] < posPlus[b] of x[a]+w[a]. Seen-in-Γ− and earlier in Γ+
+	// means "a left of b".
+	type ent struct {
+		posPlus int
+		reach   float64 // x + w
+	}
+	seen := make([]ent, 0, n)
+	for _, b := range p.Minus {
+		var x float64
+		pb := p.posPlus[b]
+		for _, e := range seen {
+			if e.posPlus < pb && e.reach > x {
+				x = e.reach
+			}
+		}
+		pos[b].X = x
+		if r := x + blocks[b].W; r > W {
+			W = r
+		}
+		seen = append(seen, ent{pb, x + blocks[b].W})
+	}
+
+	// Y: process blocks in Γ− order; a below b iff a seen earlier in Γ− and
+	// posPlus[a] > posPlus[b].
+	seen = seen[:0]
+	for _, b := range p.Minus {
+		var y float64
+		pb := p.posPlus[b]
+		for _, e := range seen {
+			if e.posPlus > pb && e.reach > y {
+				y = e.reach
+			}
+		}
+		pos[b].Y = y
+		if t := y + blocks[b].H; t > H {
+			H = t
+		}
+		seen = append(seen, ent{pb, y + blocks[b].H})
+	}
+	return pos, W, H
+}

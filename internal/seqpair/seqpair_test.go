@@ -1,0 +1,196 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func blocksN(dims ...float64) []Block {
+	var b []Block
+	for i := 0; i+1 < len(dims); i += 2 {
+		b = append(b, Block{W: dims[i], H: dims[i+1]})
+	}
+	return b
+}
+
+func overlapsAny(blocks []Block, pos []geom.Point) bool {
+	for i := range blocks {
+		ri := geom.RectWH(pos[i].X, pos[i].Y, blocks[i].W, blocks[i].H)
+		for j := i + 1; j < len(blocks); j++ {
+			rj := geom.RectWH(pos[j].X, pos[j].Y, blocks[j].W, blocks[j].H)
+			if ri.Overlaps(rj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestIdentityPackIsRow(t *testing.T) {
+	// Identity sequence pair: all blocks left-to-right in one row.
+	b := blocksN(2, 3, 4, 1, 1, 5)
+	p := New(3)
+	pos, W, H := p.Pack(b)
+	wantX := []float64{0, 2, 6}
+	for i, w := range wantX {
+		if pos[i].X != w || pos[i].Y != 0 {
+			t.Errorf("block %d at %v, want (%g, 0)", i, pos[i], w)
+		}
+	}
+	if W != 7 || H != 5 {
+		t.Errorf("bounds = %g x %g, want 7 x 5", W, H)
+	}
+}
+
+func TestReversedPlusIsColumn(t *testing.T) {
+	// Γ+ reversed, Γ− identity: every earlier block is below -> a column.
+	b := blocksN(2, 3, 4, 1, 1, 5)
+	p := New(3)
+	p.Plus = []int{2, 1, 0}
+	pos, W, H := p.Pack(b)
+	wantY := []float64{0, 3, 4}
+	for i, w := range wantY {
+		if pos[i].Y != w || pos[i].X != 0 {
+			t.Errorf("block %d at %v, want (0, %g)", i, pos[i], w)
+		}
+	}
+	if W != 4 || H != 9 {
+		t.Errorf("bounds = %g x %g, want 4 x 9", W, H)
+	}
+}
+
+func TestPackNoOverlapRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		blocks := make([]Block, n)
+		for i := range blocks {
+			blocks[i] = Block{W: 1 + rng.Float64()*9, H: 1 + rng.Float64()*9}
+		}
+		p := Random(n, rng)
+		pos, W, H := p.Pack(blocks)
+		if overlapsAny(blocks, pos) {
+			t.Fatalf("trial %d: packing overlaps (sp=%v/%v)", trial, p.Plus, p.Minus)
+		}
+		for i := range blocks {
+			if pos[i].X < 0 || pos[i].Y < 0 {
+				t.Fatalf("trial %d: negative position %v", trial, pos[i])
+			}
+			if pos[i].X+blocks[i].W > W+1e-9 || pos[i].Y+blocks[i].H > H+1e-9 {
+				t.Fatalf("trial %d: block %d exceeds bounds", trial, i)
+			}
+		}
+	}
+}
+
+// TestPackAreaLowerBound: packing area is at least the sum of block areas.
+func TestPackAreaLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		blocks := make([]Block, n)
+		var sum float64
+		for i := range blocks {
+			blocks[i] = Block{W: 1 + rng.Float64()*5, H: 1 + rng.Float64()*5}
+			sum += blocks[i].W * blocks[i].H
+		}
+		_, W, H := Random(n, rng).Pack(blocks)
+		return W*H >= sum-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapBoth(t *testing.T) {
+	p := New(4)
+	p.SwapBoth(0, 3)
+	if p.Plus[0] != 3 || p.Plus[3] != 0 || p.Minus[0] != 3 || p.Minus[3] != 0 {
+		t.Errorf("SwapBoth wrong: %v / %v", p.Plus, p.Minus)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapPositional(t *testing.T) {
+	p := New(3)
+	p.SwapPlus(0, 2)
+	if p.Plus[0] != 2 || p.Plus[2] != 0 {
+		t.Errorf("SwapPlus wrong: %v", p.Plus)
+	}
+	p.SwapMinus(1, 2)
+	if p.Minus[1] != 2 || p.Minus[2] != 1 {
+		t.Errorf("SwapMinus wrong: %v", p.Minus)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := New(3)
+	p.Plus[0] = 1 // duplicate
+	if p.Validate() == nil {
+		t.Error("Validate accepted duplicate entry")
+	}
+	q := New(3)
+	q.Minus = q.Minus[:2]
+	if q.Validate() == nil {
+		t.Error("Validate accepted length mismatch")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := New(3)
+	q := p.Clone()
+	q.SwapPlus(0, 1)
+	if p.Plus[0] != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPackPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pack accepted mismatched block count")
+		}
+	}()
+	New(3).Pack(blocksN(1, 1))
+}
+
+// TestMovesPreservePermutation is the SA safety property: any sequence of
+// random moves keeps both sequences valid permutations.
+func TestMovesPreservePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Random(10, rng)
+	for step := 0; step < 1000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			p.SwapPlus(rng.Intn(10), rng.Intn(10))
+		case 1:
+			p.SwapMinus(rng.Intn(10), rng.Intn(10))
+		default:
+			p.SwapBoth(rng.Intn(10), rng.Intn(10))
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func BenchmarkPack30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]Block, 30)
+	for i := range blocks {
+		blocks[i] = Block{W: 1 + rng.Float64()*9, H: 1 + rng.Float64()*9}
+	}
+	p := Random(30, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Pack(blocks)
+	}
+}

@@ -1,0 +1,157 @@
+package testcircuits
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/perfmodel"
+)
+
+// Comp1 builds a strong-arm latch comparator (16 devices): clocked tail,
+// input pair, cross-coupled latch (NMOS+PMOS), precharge switches and an
+// output buffer pair.
+func Comp1() *Case {
+	b := newBuilder("Comp1")
+	mck := b.mos("MCK", circuit.NMOS, 36, 12)
+	m1 := b.mos("M1", circuit.NMOS, 30, 13)
+	m2 := b.mos("M2", circuit.NMOS, 30, 13)
+	m3 := b.mos("M3", circuit.NMOS, 22, 11)
+	m4 := b.mos("M4", circuit.NMOS, 22, 11)
+	m5 := b.mos("M5", circuit.PMOS, 22, 11)
+	m6 := b.mos("M6", circuit.PMOS, 22, 11)
+	p1 := b.mos("P1", circuit.PMOS, 16, 10)
+	p2 := b.mos("P2", circuit.PMOS, 16, 10)
+	p3 := b.mos("P3", circuit.PMOS, 16, 10)
+	p4 := b.mos("P4", circuit.PMOS, 16, 10)
+	i1 := b.mos("I1", circuit.NMOS, 18, 10)
+	i2 := b.mos("I2", circuit.NMOS, 18, 10)
+	i3 := b.mos("I3", circuit.PMOS, 18, 10)
+	i4 := b.mos("I4", circuit.PMOS, 18, 10)
+	cs := b.twoPin("CS", circuit.Cap, 34, 30)
+
+	clk := b.net("clk", b.pin(mck, "g"), b.pin(p1, "g"), b.pin(p2, "g"), b.pin(p3, "g"), b.pin(p4, "g"), b.pin(cs, "p"))
+	b.net("vinp", b.pin(m1, "g"))
+	b.net("vinn", b.pin(m2, "g"))
+	b.net("tail", b.pin(mck, "d"), b.pin(m1, "s"), b.pin(m2, "s"))
+	di := b.net("di", b.pin(m1, "d"), b.pin(m3, "s"), b.pin(p1, "d"))
+	dib := b.net("dib", b.pin(m2, "d"), b.pin(m4, "s"), b.pin(p2, "d"))
+	outp := b.net("outp", b.pin(m3, "d"), b.pin(m5, "d"), b.pin(m4, "g"), b.pin(m6, "g"), b.pin(p3, "d"), b.pin(i1, "g"), b.pin(i3, "g"))
+	outn := b.net("outn", b.pin(m4, "d"), b.pin(m6, "d"), b.pin(m3, "g"), b.pin(m5, "g"), b.pin(p4, "d"), b.pin(i2, "g"), b.pin(i4, "g"))
+	b.net("q", b.pin(i1, "d"), b.pin(i3, "d"))
+	b.net("qb", b.pin(i2, "d"), b.pin(i4, "d"))
+	b.net("vss", b.pin(mck, "s"), b.pin(i1, "s"), b.pin(i2, "s"), b.pin(cs, "n"))
+	b.net("vdd", b.pin(m5, "s"), b.pin(m6, "s"), b.pin(p1, "s"), b.pin(p2, "s"),
+		b.pin(p3, "s"), b.pin(p4, "s"), b.pin(i3, "s"), b.pin(i4, "s"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["di"]].Weight = 0.45
+	b.n.Nets[b.netIdx["dib"]].Weight = 0.45
+	b.n.Nets[b.netIdx["clk"]].Weight = 0.45
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {m3, m4}, {m5, m6}, {p1, p2}, {p3, p4}}, mck)
+	b.sym([][2]int{{i1, i2}, {i3, i4}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Delay(ps)", Target: 120, HigherBetter: false, Weight: 0.3},
+			Base: 88, CapSens: map[int]float64{outp: 0.04, outn: 0.04, di: 0.02, dib: 0.02},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Offset(mV)", Target: 6, HigherBetter: false, Weight: 0.3},
+			Base: 4.6, MismatchSens: 0.5,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Noise(µV)", Target: 400, HigherBetter: false, Weight: 0.2},
+			Base: 300, CapSens: map[int]float64{di: 0.03, dib: 0.03}, MismatchSens: 0.1,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Power(µW)", Target: 95, HigherBetter: false, Weight: 0.2},
+			Base: 80, CapSens: map[int]float64{clk: 0.025},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{di, dib}, {outp, outn}}),
+		Threshold: 0.85,
+	}
+}
+
+// Comp2 builds a double-tail comparator (22 devices): two clocked stages
+// with their own tails, intermediate reset switches and an SR latch.
+func Comp2() *Case {
+	b := newBuilder("Comp2")
+	mt1 := b.mos("MT1", circuit.NMOS, 38, 12)
+	m1 := b.mos("M1", circuit.NMOS, 32, 13)
+	m2 := b.mos("M2", circuit.NMOS, 32, 13)
+	pr1 := b.mos("PR1", circuit.PMOS, 18, 10)
+	pr2 := b.mos("PR2", circuit.PMOS, 18, 10)
+	mt2 := b.mos("MT2", circuit.PMOS, 38, 12)
+	m3 := b.mos("M3", circuit.PMOS, 26, 12)
+	m4 := b.mos("M4", circuit.PMOS, 26, 12)
+	m5 := b.mos("M5", circuit.NMOS, 22, 11)
+	m6 := b.mos("M6", circuit.NMOS, 22, 11)
+	m7 := b.mos("M7", circuit.PMOS, 22, 11)
+	m8 := b.mos("M8", circuit.PMOS, 22, 11)
+	nr1 := b.mos("NR1", circuit.NMOS, 16, 10)
+	nr2 := b.mos("NR2", circuit.NMOS, 16, 10)
+	s1 := b.mos("S1", circuit.NMOS, 20, 10)
+	s2 := b.mos("S2", circuit.NMOS, 20, 10)
+	s3 := b.mos("S3", circuit.PMOS, 20, 10)
+	s4 := b.mos("S4", circuit.PMOS, 20, 10)
+	cd1 := b.twoPin("CD1", circuit.Cap, 30, 26)
+	cd2 := b.twoPin("CD2", circuit.Cap, 30, 26)
+	rb := b.twoPin("RB", circuit.Res, 10, 24)
+	mb := b.mos("MB", circuit.NMOS, 16, 10)
+
+	clk := b.net("clk", b.pin(mt1, "g"), b.pin(pr1, "g"), b.pin(pr2, "g"))
+	b.net("clkb", b.pin(mt2, "g"), b.pin(nr1, "g"), b.pin(nr2, "g"))
+	b.net("vinp", b.pin(m1, "g"))
+	b.net("vinn", b.pin(m2, "g"))
+	b.net("tail1", b.pin(mt1, "d"), b.pin(m1, "s"), b.pin(m2, "s"))
+	fp := b.net("fp", b.pin(m1, "d"), b.pin(pr1, "d"), b.pin(m3, "g"), b.pin(cd1, "p"))
+	fn := b.net("fn", b.pin(m2, "d"), b.pin(pr2, "d"), b.pin(m4, "g"), b.pin(cd2, "p"))
+	b.net("tail2", b.pin(mt2, "d"), b.pin(m3, "s"), b.pin(m4, "s"))
+	op := b.net("op", b.pin(m3, "d"), b.pin(m5, "d"), b.pin(m6, "g"), b.pin(m8, "g"), b.pin(nr1, "d"), b.pin(s1, "g"), b.pin(s3, "g"))
+	on := b.net("on", b.pin(m4, "d"), b.pin(m6, "d"), b.pin(m5, "g"), b.pin(m7, "g"), b.pin(nr2, "d"), b.pin(s2, "g"), b.pin(s4, "g"))
+	b.net("q", b.pin(s1, "d"), b.pin(s3, "d"), b.pin(m7, "d"))
+	b.net("qb", b.pin(s2, "d"), b.pin(s4, "d"), b.pin(m8, "d"))
+	b.net("bias", b.pin(mb, "g"), b.pin(mb, "d"), b.pin(rb, "p"))
+	b.net("vss", b.pin(mt1, "s"), b.pin(m5, "s"), b.pin(m6, "s"), b.pin(nr1, "s"),
+		b.pin(nr2, "s"), b.pin(s1, "s"), b.pin(s2, "s"), b.pin(mb, "s"), b.pin(cd1, "n"), b.pin(cd2, "n"), b.pin(rb, "n"))
+	b.net("vdd", b.pin(mt2, "s"), b.pin(pr1, "s"), b.pin(pr2, "s"), b.pin(m7, "s"),
+		b.pin(m8, "s"), b.pin(s3, "s"), b.pin(s4, "s"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["fp"]].Weight = 0.45
+	b.n.Nets[b.netIdx["fn"]].Weight = 0.45
+	b.n.Nets[b.netIdx["op"]].Weight = 0.45
+	b.n.Nets[b.netIdx["on"]].Weight = 0.45
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {pr1, pr2}}, mt1)
+	b.sym([][2]int{{m3, m4}, {m5, m6}, {m7, m8}, {nr1, nr2}}, mt2)
+	b.sym([][2]int{{s1, s2}, {s3, s4}, {cd1, cd2}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Delay(ps)", Target: 150, HigherBetter: false, Weight: 0.3},
+			Base: 118, CapSens: map[int]float64{fp: 0.03, fn: 0.03, op: 0.035, on: 0.035},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Offset(mV)", Target: 5, HigherBetter: false, Weight: 0.3},
+			Base: 4.2, MismatchSens: 0.28,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Hyst(mV)", Target: 8, HigherBetter: false, Weight: 0.2},
+			Base: 6.5, MismatchSens: 0.15, CapSens: map[int]float64{op: 0.01, on: 0.01},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Power(µW)", Target: 140, HigherBetter: false, Weight: 0.2},
+			Base: 122, CapSens: map[int]float64{clk: 0.02},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{fp, fn}, {op, on}}),
+		Threshold: 0.69,
+	}
+}

@@ -1,0 +1,234 @@
+package testcircuits
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/perfmodel"
+)
+
+// Adder builds the analog adder (10 devices): a small two-stage opamp with
+// a symmetric input pair plus the summing resistor network and feedback
+// capacitor. It is the paper's smallest case — every placer finds
+// essentially the same layout.
+func Adder() *Case {
+	b := newBuilder("Adder")
+	m1 := b.mos("M1", circuit.NMOS, 20, 10)
+	m2 := b.mos("M2", circuit.NMOS, 20, 10)
+	m3 := b.mos("M3", circuit.PMOS, 16, 8)
+	m4 := b.mos("M4", circuit.PMOS, 16, 8)
+	mt := b.mos("MT", circuit.NMOS, 24, 8)
+	r1 := b.twoPin("R1", circuit.Res, 12, 40)
+	r2 := b.twoPin("R2", circuit.Res, 12, 40)
+	r3 := b.twoPin("R3", circuit.Res, 12, 40)
+	rf := b.twoPin("RF", circuit.Res, 12, 40)
+	cf := b.twoPin("CF", circuit.Cap, 30, 30)
+
+	b.net("in1", b.pin(r1, "p"))
+	b.net("in2", b.pin(r2, "p"))
+	b.net("in3", b.pin(r3, "p"))
+	vsum := b.net("vsum", b.pin(r1, "n"), b.pin(r2, "n"), b.pin(r3, "n"),
+		b.pin(m1, "g"), b.pin(rf, "p"), b.pin(cf, "p"))
+	vref := b.net("vref", b.pin(m2, "g"))
+	out := b.net("out", b.pin(m2, "d"), b.pin(m4, "d"), b.pin(rf, "n"), b.pin(cf, "n"))
+	b.net("na", b.pin(m1, "d"), b.pin(m3, "d"), b.pin(m3, "g"), b.pin(m4, "g"))
+	b.net("tail", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(mt, "d"))
+	b.net("vss", b.pin(mt, "s"))
+	b.net("vdd", b.pin(m3, "s"), b.pin(m4, "s"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {m3, m4}}, mt)
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "GainErr(%)", Target: 1.0, HigherBetter: false, Weight: 0.34},
+			Base: 0.75, CapSens: map[int]float64{vsum: 0.02}, MismatchSens: 0.15,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "BW(MHz)", Target: 250, HigherBetter: true, Weight: 0.33},
+			Base: 225, CapSens: map[int]float64{out: 0.05, vsum: 0.03},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Offset(mV)", Target: 3, HigherBetter: false, Weight: 0.33},
+			Base: 2.1, MismatchSens: 0.3,
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{vsum, vref}}),
+		Threshold: 0.51,
+	}
+}
+
+// VGA builds the variable-gain amplifier (18 devices): two cascaded
+// symmetric gain stages with source degeneration, resistor loads and a
+// gain-control branch.
+func VGA() *Case {
+	b := newBuilder("VGA")
+	m1 := b.mos("M1", circuit.NMOS, 28, 12)
+	m2 := b.mos("M2", circuit.NMOS, 28, 12)
+	rl1 := b.twoPin("RL1", circuit.Res, 12, 34)
+	rl2 := b.twoPin("RL2", circuit.Res, 12, 34)
+	rs := b.twoPin("RS", circuit.Res, 12, 26)
+	mt1 := b.mos("MT1", circuit.NMOS, 34, 10)
+	m3 := b.mos("M3", circuit.NMOS, 26, 12)
+	m4 := b.mos("M4", circuit.NMOS, 26, 12)
+	rl3 := b.twoPin("RL3", circuit.Res, 12, 34)
+	rl4 := b.twoPin("RL4", circuit.Res, 12, 34)
+	mt2 := b.mos("MT2", circuit.NMOS, 34, 10)
+	mg1 := b.mos("MG1", circuit.NMOS, 20, 10)
+	mg2 := b.mos("MG2", circuit.NMOS, 20, 10)
+	mb := b.mos("MB", circuit.NMOS, 16, 10)
+	rb := b.twoPin("RB", circuit.Res, 10, 24)
+	c1 := b.twoPin("C1", circuit.Cap, 28, 26)
+	c2 := b.twoPin("C2", circuit.Cap, 28, 26)
+	mcm := b.mos("MCM", circuit.NMOS, 22, 10)
+
+	b.net("vinp", b.pin(m1, "g"))
+	b.net("vinn", b.pin(m2, "g"))
+	a1 := b.net("a1", b.pin(m1, "d"), b.pin(rl1, "n"), b.pin(c1, "p"), b.pin(m3, "g"))
+	a2 := b.net("a2", b.pin(m2, "d"), b.pin(rl2, "n"), b.pin(c2, "p"), b.pin(m4, "g"))
+	b.net("deg", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(rs, "p"), b.pin(rs, "n"), b.pin(mt1, "d"), b.pin(mg1, "d"))
+	o1 := b.net("o1", b.pin(m3, "d"), b.pin(rl3, "n"), b.pin(c1, "n"))
+	o2 := b.net("o2", b.pin(m4, "d"), b.pin(rl4, "n"), b.pin(c2, "n"))
+	b.net("tail2", b.pin(m3, "s"), b.pin(m4, "s"), b.pin(mt2, "d"), b.pin(mg2, "d"))
+	gctl := b.net("gctl", b.pin(mg1, "g"), b.pin(mg2, "g"), b.pin(mcm, "g"), b.pin(mcm, "d"))
+	b.net("bias", b.pin(mt1, "g"), b.pin(mt2, "g"), b.pin(mb, "g"), b.pin(mb, "d"), b.pin(rb, "p"))
+	b.net("vss", b.pin(mt1, "s"), b.pin(mt2, "s"), b.pin(mg1, "s"), b.pin(mg2, "s"),
+		b.pin(mb, "s"), b.pin(mcm, "s"), b.pin(rb, "n"))
+	b.net("vdd", b.pin(rl1, "p"), b.pin(rl2, "p"), b.pin(rl3, "p"), b.pin(rl4, "p"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {rl1, rl2}}, mt1)
+	b.sym([][2]int{{m3, m4}, {rl3, rl4}, {c1, c2}}, mt2)
+	b.sym([][2]int{{mg1, mg2}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Gain(dB)", Target: 20, HigherBetter: true, Weight: 0.25},
+			Base: 21.5, CapSens: map[int]float64{a1: 0.004, a2: 0.004},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "BW(MHz)", Target: 600, HigherBetter: true, Weight: 0.25},
+			Base: 520, CapSens: map[int]float64{a1: 0.035, a2: 0.035, o1: 0.03, o2: 0.03},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "THD(dB)", Target: 45, HigherBetter: true, Weight: 0.25},
+			Base: 41, MismatchSens: 0.18, CapSens: map[int]float64{gctl: 0.01},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Noise(nV/√Hz)", Target: 9, HigherBetter: false, Weight: 0.25},
+			Base: 7.4, CapSens: map[int]float64{a1: 0.012, a2: 0.012}, MismatchSens: 0.08,
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{a1, a2}, {o1, o2}}),
+		Threshold: 0.74,
+	}
+}
+
+// SCF builds the switched-capacitor filter (35 devices): a 16-unit
+// capacitor array placed as symmetric pairs, an opamp, MOS switches and
+// clock buffers. The cap array dominates area, matching the paper's much
+// larger SCF layout.
+func SCF() *Case {
+	b := newBuilder("SCF")
+	// Opamp core.
+	m1 := b.mos("M1", circuit.NMOS, 30, 13)
+	m2 := b.mos("M2", circuit.NMOS, 30, 13)
+	m3 := b.mos("M3", circuit.PMOS, 24, 11)
+	m4 := b.mos("M4", circuit.PMOS, 24, 11)
+	mt := b.mos("MT", circuit.NMOS, 36, 11)
+	mo := b.mos("MO", circuit.NMOS, 26, 11)
+	mob := b.mos("MOB", circuit.PMOS, 26, 11)
+	// Unit capacitor array: 16 units as 8 symmetric pairs.
+	caps := make([]int, 16)
+	capDims := [][2]float64{{96, 80}, {80, 72}, {72, 88}, {64, 60},
+		{88, 96}, {60, 72}, {84, 64}, {72, 80}}
+	for i := range caps {
+		d := capDims[i/2] // mirrored pair mates keep identical footprints
+		caps[i] = b.twoPin(fmt.Sprintf("CU%d", i), circuit.Cap, d[0], d[1])
+	}
+	// Switches.
+	sw := make([]int, 8)
+	for i := range sw {
+		sw[i] = b.mos(fmt.Sprintf("SW%d", i), circuit.NMOS, 14, 10)
+	}
+	// Clock buffers and bias.
+	ck1 := b.mos("CK1", circuit.NMOS, 18, 10)
+	ck2 := b.mos("CK2", circuit.PMOS, 18, 10)
+	mb := b.mos("MB", circuit.NMOS, 16, 10)
+	rb := b.twoPin("RB", circuit.Res, 10, 24)
+
+	// Nets: input sampling branch, virtual grounds, output.
+	b.net("vin", b.pin(sw[0], "s"), b.pin(sw[1], "s"))
+	top := b.net("top", b.pin(sw[0], "d"), b.pin(caps[0], "p"), b.pin(caps[2], "p"),
+		b.pin(caps[4], "p"), b.pin(caps[6], "p"), b.pin(sw[2], "s"))
+	topb := b.net("topb", b.pin(sw[1], "d"), b.pin(caps[1], "p"), b.pin(caps[3], "p"),
+		b.pin(caps[5], "p"), b.pin(caps[7], "p"), b.pin(sw[3], "s"))
+	vg := b.net("vg", b.pin(sw[2], "d"), b.pin(m1, "g"), b.pin(caps[8], "p"), b.pin(caps[10], "p"))
+	vgb := b.net("vgb", b.pin(sw[3], "d"), b.pin(m2, "g"), b.pin(caps[9], "p"), b.pin(caps[11], "p"))
+	b.net("na", b.pin(m1, "d"), b.pin(m3, "d"), b.pin(m3, "g"), b.pin(m4, "g"))
+	st1 := b.net("st1", b.pin(m2, "d"), b.pin(m4, "d"), b.pin(mo, "g"))
+	out := b.net("out", b.pin(mo, "d"), b.pin(mob, "d"), b.pin(caps[8], "n"), b.pin(caps[9], "n"),
+		b.pin(sw[4], "s"), b.pin(sw[5], "s"))
+	b.net("fb", b.pin(sw[4], "d"), b.pin(caps[12], "p"), b.pin(caps[13], "p"))
+	b.net("fbb", b.pin(sw[5], "d"), b.pin(caps[14], "p"), b.pin(caps[15], "p"))
+	clk := b.net("clk", b.pin(ck1, "g"), b.pin(ck2, "g"),
+		b.pin(sw[0], "g"), b.pin(sw[1], "g"), b.pin(sw[6], "g"), b.pin(sw[7], "g"))
+	b.net("clkb", b.pin(ck1, "d"), b.pin(ck2, "d"),
+		b.pin(sw[2], "g"), b.pin(sw[3], "g"), b.pin(sw[4], "g"), b.pin(sw[5], "g"))
+	b.net("tail", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(mt, "d"))
+	b.net("bias", b.pin(mt, "g"), b.pin(mb, "g"), b.pin(mb, "d"), b.pin(rb, "p"), b.pin(mob, "g"))
+	gnd := b.net("vss", b.pin(mt, "s"), b.pin(mo, "s"), b.pin(mb, "s"), b.pin(ck1, "s"), b.pin(rb, "n"),
+		b.pin(caps[0], "n"), b.pin(caps[1], "n"), b.pin(caps[2], "n"), b.pin(caps[3], "n"),
+		b.pin(caps[4], "n"), b.pin(caps[5], "n"), b.pin(caps[6], "n"), b.pin(caps[7], "n"),
+		b.pin(caps[10], "n"), b.pin(caps[11], "n"), b.pin(caps[12], "n"), b.pin(caps[13], "n"),
+		b.pin(caps[14], "n"), b.pin(caps[15], "n"), b.pin(sw[6], "s"), b.pin(sw[7], "s"),
+		b.pin(sw[6], "d"), b.pin(sw[7], "d"))
+	b.net("vdd", b.pin(m3, "s"), b.pin(m4, "s"), b.pin(mob, "s"), b.pin(ck2, "s"))
+	b.n.Nets[gnd].Weight = 0.1
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+	for _, crit := range []int{top, topb, vg, vgb} {
+		b.n.Nets[crit].Weight = 0.45
+	}
+
+	// Cap array symmetry: 8 mirrored pairs in one group.
+	var capPairs [][2]int
+	for i := 0; i < 16; i += 2 {
+		capPairs = append(capPairs, [2]int{caps[i], caps[i+1]})
+	}
+	b.sym(capPairs)
+	b.sym([][2]int{{m1, m2}, {m3, m4}}, mt)
+	b.sym([][2]int{{sw[0], sw[1]}, {sw[2], sw[3]}, {sw[4], sw[5]}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "CutoffAcc(%)", Target: 97, HigherBetter: true, Weight: 0.3},
+			Base: 95, CapSens: map[int]float64{top: 0.01, topb: 0.01}, MismatchSens: 0.015,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "THD(dB)", Target: 60, HigherBetter: true, Weight: 0.25},
+			Base: 55, MismatchSens: 0.02, CapSens: map[int]float64{vg: 0.008, vgb: 0.008},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Settling(ns)", Target: 40, HigherBetter: false, Weight: 0.25},
+			Base: 31, CapSens: map[int]float64{out: 0.008, st1: 0.01},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Power(µW)", Target: 260, HigherBetter: false, Weight: 0.2},
+			Base: 228, CapSens: map[int]float64{clk: 0.006},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{top, topb}, {vg, vgb}}),
+		Threshold: 0.77,
+	}
+}

@@ -1,0 +1,225 @@
+package testcircuits
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/perfmodel"
+)
+
+// CCOTA builds the cross-coupled OTA: a symmetric diff pair with
+// cross-coupled PMOS loads, cascode mirrors, tail source, bias branch and a
+// pair of compensation capacitors (15 devices). Its specs are the ones the
+// paper reports in Table VI.
+func CCOTA() *Case {
+	b := newBuilder("CC-OTA")
+	m1 := b.mos("M1", circuit.NMOS, 30, 12)
+	m2 := b.mos("M2", circuit.NMOS, 30, 12)
+	m3 := b.mos("M3", circuit.PMOS, 24, 10)
+	m4 := b.mos("M4", circuit.PMOS, 24, 10)
+	m5 := b.mos("M5", circuit.PMOS, 24, 10)
+	m6 := b.mos("M6", circuit.PMOS, 24, 10)
+	m7 := b.mos("M7", circuit.NMOS, 20, 10)
+	m8 := b.mos("M8", circuit.NMOS, 20, 10)
+	mt := b.mos("MT", circuit.NMOS, 36, 10)
+	mb1 := b.mos("MB1", circuit.NMOS, 16, 10)
+	mb2 := b.mos("MB2", circuit.NMOS, 16, 10)
+	c1 := b.twoPin("C1", circuit.Cap, 30, 30)
+	c2 := b.twoPin("C2", circuit.Cap, 30, 30)
+	rb := b.twoPin("RB", circuit.Res, 12, 30)
+
+	vinp := b.net("vinp", b.pin(m1, "g"))
+	vinn := b.net("vinn", b.pin(m2, "g"))
+	b.net("tail", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(mt, "d"))
+	outp := b.net("outp",
+		b.pin(m1, "d"), b.pin(m3, "d"), b.pin(m4, "g"), b.pin(m5, "d"),
+		b.pin(m7, "g"), b.pin(c1, "p"))
+	outn := b.net("outn",
+		b.pin(m2, "d"), b.pin(m4, "d"), b.pin(m3, "g"), b.pin(m6, "d"),
+		b.pin(m8, "g"), b.pin(c2, "p"))
+	b.net("vop", b.pin(m7, "d"), b.pin(c1, "n"))
+	b.net("von", b.pin(m8, "d"), b.pin(c2, "n"))
+	b.net("bias",
+		b.pin(mt, "g"), b.pin(mb1, "g"), b.pin(mb1, "d"), b.pin(mb2, "g"),
+		b.pin(rb, "p"))
+	b.net("vss", b.pin(mt, "s"), b.pin(mb1, "s"), b.pin(mb2, "s"), b.pin(m7, "s"), b.pin(m8, "s"), b.pin(rb, "n"))
+	b.net("vdd", b.pin(m3, "s"), b.pin(m4, "s"), b.pin(m5, "s"), b.pin(m6, "s"), b.pin(mb2, "d"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["outp"]].Weight = 0.45
+	b.n.Nets[b.netIdx["outn"]].Weight = 0.45
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {m3, m4}, {m5, m6}, {m7, m8}, {c1, c2}}, mt)
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Gain(dB)", Target: 25.0, HigherBetter: true, Weight: 0.25},
+			Base: 26.3, CapSens: map[int]float64{outp: 0.002, outn: 0.002},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "UGF(MHz)", Target: 1200, HigherBetter: true, Weight: 0.25},
+			Base: 1150, CapSens: map[int]float64{outp: 0.055, outn: 0.055},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "BW(MHz)", Target: 70, HigherBetter: true, Weight: 0.25},
+			Base: 62, CapSens: map[int]float64{outp: 0.075, outn: 0.075}, MismatchSens: 0.05,
+		},
+		{
+			// Phase margin trades against speed: it improves with output
+			// loading (negative sensitivity) and suffers from mismatch.
+			Spec: perfmodel.Spec{Name: "PM(deg)", Target: 90, HigherBetter: true, Weight: 0.25},
+			Base: 85, CapSens: map[int]float64{outp: -0.02, outn: -0.02}, MismatchSens: 0.12,
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{outp, outn}, {vinp, vinn}}),
+		Threshold: 0.76,
+	}
+}
+
+// CMOTA1 builds the first current-mirror OTA (17 devices): diff pair,
+// two current-mirror load stages, output mirrors, tail and bias network.
+func CMOTA1() *Case {
+	b := newBuilder("CM-OTA1")
+	m1 := b.mos("M1", circuit.NMOS, 32, 14)
+	m2 := b.mos("M2", circuit.NMOS, 32, 14)
+	m3 := b.mos("M3", circuit.PMOS, 22, 11)
+	m4 := b.mos("M4", circuit.PMOS, 22, 11)
+	m5 := b.mos("M5", circuit.PMOS, 22, 11)
+	m6 := b.mos("M6", circuit.PMOS, 22, 11)
+	m7 := b.mos("M7", circuit.NMOS, 26, 11)
+	m8 := b.mos("M8", circuit.NMOS, 26, 11)
+	m9 := b.mos("M9", circuit.NMOS, 26, 11)
+	mt := b.mos("MT", circuit.NMOS, 40, 12)
+	mb := b.mos("MB", circuit.NMOS, 18, 12)
+	cl := b.twoPin("CL", circuit.Cap, 42, 40)
+	r1 := b.twoPin("R1", circuit.Res, 10, 26)
+	m10 := b.mos("M10", circuit.PMOS, 20, 10)
+	m11 := b.mos("M11", circuit.PMOS, 20, 10)
+	m12 := b.mos("M12", circuit.NMOS, 18, 10)
+	m13 := b.mos("M13", circuit.NMOS, 18, 10)
+
+	vinp := b.net("vinp", b.pin(m1, "g"))
+	vinn := b.net("vinn", b.pin(m2, "g"))
+	b.net("tail", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(mt, "d"))
+	na := b.net("na", b.pin(m1, "d"), b.pin(m3, "d"), b.pin(m3, "g"), b.pin(m5, "g"))
+	nb := b.net("nb", b.pin(m2, "d"), b.pin(m4, "d"), b.pin(m4, "g"), b.pin(m6, "g"))
+	b.net("nc", b.pin(m5, "d"), b.pin(m7, "d"), b.pin(m7, "g"), b.pin(m8, "g"))
+	out := b.net("out", b.pin(m6, "d"), b.pin(m8, "d"), b.pin(cl, "p"), b.pin(m9, "g"))
+	b.net("outbuf", b.pin(m9, "d"), b.pin(m10, "d"), b.pin(m11, "g"))
+	b.net("mir", b.pin(m10, "g"), b.pin(m11, "d"), b.pin(m12, "d"), b.pin(m12, "g"), b.pin(m13, "g"))
+	b.net("bias", b.pin(mt, "g"), b.pin(mb, "g"), b.pin(mb, "d"), b.pin(r1, "p"))
+	b.net("vss", b.pin(mt, "s"), b.pin(mb, "s"), b.pin(m7, "s"), b.pin(m8, "s"),
+		b.pin(m9, "s"), b.pin(m12, "s"), b.pin(m13, "s"), b.pin(cl, "n"), b.pin(r1, "n"))
+	b.net("vdd", b.pin(m3, "s"), b.pin(m4, "s"), b.pin(m5, "s"), b.pin(m6, "s"),
+		b.pin(m10, "s"), b.pin(m11, "s"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["out"]].Weight = 0.45
+	b.n.Nets[b.netIdx["na"]].Weight = 0.45
+	b.n.Nets[b.netIdx["nb"]].Weight = 0.45
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {m3, m4}, {m5, m6}}, mt)
+	b.sym([][2]int{{m10, m11}, {m12, m13}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Gain(dB)", Target: 32, HigherBetter: true, Weight: 0.25},
+			Base: 34, CapSens: map[int]float64{out: 0.004},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "UGF(MHz)", Target: 900, HigherBetter: true, Weight: 0.25},
+			Base: 880, CapSens: map[int]float64{out: 0.05, na: 0.02, nb: 0.02},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "BW(MHz)", Target: 45, HigherBetter: true, Weight: 0.25},
+			Base: 40, CapSens: map[int]float64{out: 0.06}, MismatchSens: 0.06,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Offset(mV)", Target: 4, HigherBetter: false, Weight: 0.25},
+			Base: 2.4, MismatchSens: 0.35, CapSens: map[int]float64{na: 0.01, nb: 0.01},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{na, nb}, {vinp, vinn}}),
+		Threshold: 0.84,
+	}
+}
+
+// CMOTA2 builds the second, larger current-mirror OTA (21 devices) with a
+// two-stage structure and Miller compensation.
+func CMOTA2() *Case {
+	b := newBuilder("CM-OTA2")
+	m1 := b.mos("M1", circuit.NMOS, 34, 14)
+	m2 := b.mos("M2", circuit.NMOS, 34, 14)
+	m3 := b.mos("M3", circuit.PMOS, 24, 11)
+	m4 := b.mos("M4", circuit.PMOS, 24, 11)
+	m5 := b.mos("M5", circuit.PMOS, 24, 11)
+	m6 := b.mos("M6", circuit.PMOS, 24, 11)
+	m7 := b.mos("M7", circuit.NMOS, 24, 11)
+	m8 := b.mos("M8", circuit.NMOS, 24, 11)
+	m9 := b.mos("M9", circuit.PMOS, 30, 12)
+	m10 := b.mos("M10", circuit.NMOS, 30, 12)
+	mt := b.mos("MT", circuit.NMOS, 44, 12)
+	mb1 := b.mos("MB1", circuit.NMOS, 18, 11)
+	mb2 := b.mos("MB2", circuit.PMOS, 18, 11)
+	cm := b.twoPin("CM", circuit.Cap, 40, 36)
+	cl := b.twoPin("CL", circuit.Cap, 46, 42)
+	rz := b.twoPin("RZ", circuit.Res, 10, 30)
+	m11 := b.mos("M11", circuit.NMOS, 20, 10)
+	m12 := b.mos("M12", circuit.NMOS, 20, 10)
+	m13 := b.mos("M13", circuit.PMOS, 20, 10)
+	m14 := b.mos("M14", circuit.PMOS, 20, 10)
+	mcas := b.mos("MCAS", circuit.NMOS, 28, 11)
+
+	vinp := b.net("vinp", b.pin(m1, "g"), b.pin(m11, "g"))
+	vinn := b.net("vinn", b.pin(m2, "g"), b.pin(m12, "g"))
+	b.net("tail", b.pin(m1, "s"), b.pin(m2, "s"), b.pin(mt, "d"))
+	na := b.net("na", b.pin(m1, "d"), b.pin(m3, "d"), b.pin(m3, "g"), b.pin(m5, "g"))
+	nb := b.net("nb", b.pin(m2, "d"), b.pin(m4, "d"), b.pin(m4, "g"), b.pin(m6, "g"))
+	st1 := b.net("st1", b.pin(m6, "d"), b.pin(m8, "d"), b.pin(m9, "g"), b.pin(cm, "p"), b.pin(rz, "p"))
+	b.net("st1m", b.pin(m5, "d"), b.pin(m7, "d"), b.pin(m7, "g"), b.pin(m8, "g"))
+	out := b.net("out", b.pin(m9, "d"), b.pin(m10, "d"), b.pin(cl, "p"), b.pin(rz, "n"), b.pin(cm, "n"), b.pin(mcas, "d"))
+	b.net("biasn", b.pin(mt, "g"), b.pin(mb1, "g"), b.pin(mb1, "d"), b.pin(m10, "g"))
+	b.net("biasp", b.pin(mb2, "g"), b.pin(mb2, "d"), b.pin(m13, "g"), b.pin(m14, "g"))
+	b.net("aux", b.pin(m11, "d"), b.pin(m13, "d"), b.pin(mcas, "g"))
+	b.net("auxm", b.pin(m12, "d"), b.pin(m14, "d"), b.pin(mcas, "s"))
+	b.net("vss", b.pin(mt, "s"), b.pin(mb1, "s"), b.pin(m7, "s"), b.pin(m8, "s"),
+		b.pin(m10, "s"), b.pin(m11, "s"), b.pin(m12, "s"), b.pin(cl, "n"))
+	b.net("vdd", b.pin(m3, "s"), b.pin(m4, "s"), b.pin(m5, "s"), b.pin(m6, "s"),
+		b.pin(m9, "s"), b.pin(mb2, "s"), b.pin(m13, "s"), b.pin(m14, "s"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["st1"]].Weight = 0.45
+	b.n.Nets[b.netIdx["out"]].Weight = 0.45
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{m1, m2}, {m3, m4}, {m5, m6}, {m7, m8}}, mt)
+	b.sym([][2]int{{m11, m12}, {m13, m14}}, mcas)
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Gain(dB)", Target: 55, HigherBetter: true, Weight: 0.25},
+			Base: 58, CapSens: map[int]float64{out: 0.003, st1: 0.004},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "UGF(MHz)", Target: 400, HigherBetter: true, Weight: 0.25},
+			Base: 385, CapSens: map[int]float64{st1: 0.05, out: 0.03},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "SR(V/µs)", Target: 120, HigherBetter: true, Weight: 0.25},
+			Base: 108, CapSens: map[int]float64{out: 0.045}, MismatchSens: 0.04,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Offset(mV)", Target: 5, HigherBetter: false, Weight: 0.25},
+			Base: 3.1, MismatchSens: 0.3, CapSens: map[int]float64{na: 0.008, nb: 0.008},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{na, nb}, {vinp, vinn}}),
+		Threshold: 0.75,
+	}
+}

@@ -1,0 +1,145 @@
+package testcircuits
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// rowPlacement packs devices into rows greedily — a cheap legal-ish layout
+// for sanity-checking metrics without running a placer.
+func rowPlacement(n *circuit.Netlist) *circuit.Placement {
+	p := circuit.NewPlacement(n)
+	side := math.Sqrt(n.TotalDeviceArea()) * 1.3
+	var x, y, rowH float64
+	for i := range n.Devices {
+		d := &n.Devices[i]
+		if x+d.W > side && x > 0 {
+			x = 0
+			y += rowH
+			rowH = 0
+		}
+		p.X[i] = x + d.W/2
+		p.Y[i] = y + d.H/2
+		x += d.W
+		rowH = math.Max(rowH, d.H)
+	}
+	n.ResolveAxes(p)
+	return p
+}
+
+func TestAllCircuitsValid(t *testing.T) {
+	cases := All()
+	if len(cases) != 10 {
+		t.Fatalf("All returned %d cases, want 10", len(cases))
+	}
+	for i, c := range cases {
+		name := Names()[i]
+		if c.Netlist.Name != name {
+			t.Errorf("case %d: name %q, want %q", i, c.Netlist.Name, name)
+		}
+		if err := c.Netlist.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := c.Perf.Validate(c.Netlist); err != nil {
+			t.Errorf("%s perf: %v", name, err)
+		}
+		if c.Threshold <= 0 || c.Threshold >= 1 {
+			t.Errorf("%s: threshold %g out of (0,1)", name, c.Threshold)
+		}
+	}
+}
+
+func TestDeviceCountsAreDozens(t *testing.T) {
+	for _, c := range All() {
+		nd := c.Netlist.NumDevices()
+		if nd < 10 || nd > 60 {
+			t.Errorf("%s: %d devices, expected dozens (10-60)", c.Netlist.Name, nd)
+		}
+	}
+}
+
+// TestAreaOrdering: the paper's relative circuit sizes should hold — SCF is
+// by far the largest, VCO2 > VCO1 > the OTAs, Adder the smallest.
+func TestAreaOrdering(t *testing.T) {
+	area := map[string]float64{}
+	for _, c := range All() {
+		area[c.Netlist.Name] = c.Netlist.TotalDeviceArea()
+	}
+	if !(area["SCF"] > area["VCO2"] && area["VCO2"] > area["VCO1"]) {
+		t.Errorf("size ordering broken: SCF=%.0f VCO2=%.0f VCO1=%.0f",
+			area["SCF"], area["VCO2"], area["VCO1"])
+	}
+	for name, a := range area {
+		if name == "Adder" {
+			continue
+		}
+		if a < area["Adder"] {
+			t.Errorf("%s (%.0f) smaller than Adder (%.0f)", name, a, area["Adder"])
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown circuit")
+	}
+	for _, nm := range Names() {
+		if _, err := ByName(nm); err != nil {
+			t.Errorf("ByName(%q): %v", nm, err)
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := CCOTA()
+	b := CCOTA()
+	if len(a.Netlist.Devices) != len(b.Netlist.Devices) || len(a.Netlist.Nets) != len(b.Netlist.Nets) {
+		t.Fatal("CCOTA construction nondeterministic")
+	}
+	pa := rowPlacement(a.Netlist)
+	pb := rowPlacement(b.Netlist)
+	if a.Perf.FOM(a.Netlist, pa) != b.Perf.FOM(b.Netlist, pb) {
+		t.Error("FOM differs between identical constructions")
+	}
+}
+
+func TestFOMSaneAtRowPlacement(t *testing.T) {
+	for _, c := range All() {
+		p := rowPlacement(c.Netlist)
+		f := c.Perf.FOM(c.Netlist, p)
+		if f < 0.3 || f > 1 {
+			t.Errorf("%s: FOM %.3f at row placement outside [0.3, 1]", c.Netlist.Name, f)
+		}
+		// A wildly spread placement must be no better.
+		q := p.Clone()
+		for i := range q.X {
+			q.X[i] *= 6
+			q.Y[i] *= 6
+		}
+		c.Netlist.ResolveAxes(q)
+		if g := c.Perf.FOM(c.Netlist, q); g > f+1e-9 {
+			t.Errorf("%s: spread placement FOM %.3f beats compact %.3f", c.Netlist.Name, g, f)
+		}
+	}
+}
+
+func TestSymmetryGroupsPresent(t *testing.T) {
+	// Every benchmark is an analog circuit with matching constraints.
+	for _, c := range All() {
+		if len(c.Netlist.SymGroups) == 0 {
+			t.Errorf("%s: no symmetry groups", c.Netlist.Name)
+		}
+	}
+}
+
+func TestVCO1HasOrderingAndAlignment(t *testing.T) {
+	c := VCO1()
+	if len(c.Netlist.HOrders) == 0 {
+		t.Error("VCO1 should carry a monotone-path ordering constraint")
+	}
+	if len(c.Netlist.BottomAlign) == 0 {
+		t.Error("VCO1 should carry bottom-alignment constraints")
+	}
+}

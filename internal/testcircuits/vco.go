@@ -1,0 +1,173 @@
+package testcircuits
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/perfmodel"
+)
+
+// VCO1 builds a five-stage current-starved ring oscillator (24 devices):
+// each delay stage has an inverter pair plus two starving devices, with a
+// bias mirror and two load capacitors. The stage chain carries a
+// horizontal ordering constraint (monotone signal path).
+func VCO1() *Case {
+	b := newBuilder("VCO1")
+	const stages = 5
+	invP := make([]int, stages)
+	invN := make([]int, stages)
+	stvP := make([]int, stages)
+	stvN := make([]int, stages)
+	for s := 0; s < stages; s++ {
+		invP[s] = b.mos(fmt.Sprintf("IP%d", s), circuit.PMOS, 40, 18)
+		invN[s] = b.mos(fmt.Sprintf("IN%d", s), circuit.NMOS, 40, 15)
+		stvP[s] = b.mos(fmt.Sprintf("SP%d", s), circuit.PMOS, 30, 12)
+		stvN[s] = b.mos(fmt.Sprintf("SN%d", s), circuit.NMOS, 30, 12)
+	}
+	mb1 := b.mos("MB1", circuit.NMOS, 24, 12)
+	mb2 := b.mos("MB2", circuit.PMOS, 24, 12)
+	cl1 := b.twoPin("CL1", circuit.Cap, 50, 50)
+	cl2 := b.twoPin("CL2", circuit.Cap, 50, 50)
+
+	// Ring connectivity: out of stage s drives gates of stage s+1.
+	stageNets := make([]int, stages)
+	for s := 0; s < stages; s++ {
+		nxt := (s + 1) % stages
+		stageNets[s] = b.net(fmt.Sprintf("ph%d", s),
+			b.pin(invP[s], "d"), b.pin(invN[s], "d"),
+			b.pin(invP[nxt], "g"), b.pin(invN[nxt], "g"))
+	}
+	b.net("ph0load", b.pin(invP[0], "d"), b.pin(cl1, "p"))
+	b.net("ph2load", b.pin(invP[2], "d"), b.pin(cl2, "p"))
+	vbn := b.net("vbn", b.pin(mb1, "g"), b.pin(mb1, "d"))
+	vbp := b.net("vbp", b.pin(mb2, "g"), b.pin(mb2, "d"))
+	for s := 0; s < stages; s++ {
+		b.net("vbn", b.pin(stvN[s], "g"))
+		b.net("vbp", b.pin(stvP[s], "g"))
+		b.net(fmt.Sprintf("srcp%d", s), b.pin(invP[s], "s"), b.pin(stvP[s], "d"))
+		b.net(fmt.Sprintf("srcn%d", s), b.pin(invN[s], "s"), b.pin(stvN[s], "d"))
+	}
+	vss := b.net("vss", b.pin(mb1, "s"), b.pin(cl1, "n"), b.pin(cl2, "n"))
+	vdd := b.net("vdd", b.pin(mb2, "s"))
+	for s := 0; s < stages; s++ {
+		b.net("vss", b.pin(stvN[s], "s"))
+		b.net("vdd", b.pin(stvP[s], "s"))
+	}
+	b.n.Nets[vss].Weight = 0.2
+	b.n.Nets[vdd].Weight = 0.2
+	for _, e := range stageNets {
+		b.n.Nets[e].Weight = 0.45
+	}
+
+	// Delay stages in signal order, left to right (monotone path [16]).
+	b.n.HOrders = append(b.n.HOrders, []int{invN[0], invN[1], invN[2], invN[3], invN[4]})
+	// Per-stage inverter transistors bottom-aligned with each other.
+	for s := 0; s < stages; s++ {
+		b.n.BottomAlign = append(b.n.BottomAlign, [2]int{invP[s], invN[s]})
+	}
+	b.sym([][2]int{{cl1, cl2}})
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Fosc(GHz)", Target: 2.4, HigherBetter: true, Weight: 0.3},
+			Base: 2.15, CapSens: capSpread(stageNets, 0.03),
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Tune(%)", Target: 30, HigherBetter: true, Weight: 0.25},
+			Base: 26.5, CapSens: map[int]float64{vbn: 0.02, vbp: 0.02},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "PN(dBc)", Target: 95, HigherBetter: true, Weight: 0.25},
+			Base: 88, CapSens: capSpread(stageNets, 0.008), MismatchSens: 0.05,
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Power(mW)", Target: 3.2, HigherBetter: false, Weight: 0.2},
+			Base: 2.6, CapSens: capSpread(stageNets, 0.012),
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{stageNets[0], stageNets[2]}}),
+		Threshold: 0.68,
+	}
+}
+
+// VCO2 builds an LC-tank oscillator (17 devices): a dominant spiral
+// inductor, cross-coupled NMOS/PMOS pairs, a 4-bit capacitor bank,
+// varactors, tail source and output buffers. The inductor fixes the layout
+// area, as in the paper where VCO2's area is identical across methods.
+func VCO2() *Case {
+	b := newBuilder("VCO2")
+	ind := b.twoPin("L1", circuit.Ind, 150, 150)
+	xn1 := b.mos("XN1", circuit.NMOS, 36, 14)
+	xn2 := b.mos("XN2", circuit.NMOS, 36, 14)
+	xp1 := b.mos("XP1", circuit.PMOS, 36, 14)
+	xp2 := b.mos("XP2", circuit.PMOS, 36, 14)
+	cb := make([]int, 6)
+	cbDims := [][2]float64{{52, 38}, {40, 35}, {30, 44}}
+	for i := range cb {
+		d := cbDims[i/2]
+		cb[i] = b.twoPin(fmt.Sprintf("CB%d", i), circuit.Cap, d[0], d[1])
+	}
+	var1 := b.twoPin("VAR1", circuit.Cap, 34, 34)
+	var2 := b.twoPin("VAR2", circuit.Cap, 34, 34)
+	mt := b.mos("MT", circuit.NMOS, 40, 12)
+	bf1 := b.mos("BF1", circuit.NMOS, 24, 11)
+	bf2 := b.mos("BF2", circuit.NMOS, 24, 11)
+
+	tankp := b.net("tankp", b.pin(ind, "p"), b.pin(xn1, "d"), b.pin(xp1, "d"),
+		b.pin(xn2, "g"), b.pin(xp2, "g"), b.pin(var1, "p"), b.pin(bf1, "g"),
+		b.pin(cb[0], "p"), b.pin(cb[2], "p"), b.pin(cb[4], "p"))
+	tankn := b.net("tankn", b.pin(ind, "n"), b.pin(xn2, "d"), b.pin(xp2, "d"),
+		b.pin(xn1, "g"), b.pin(xp1, "g"), b.pin(var2, "p"), b.pin(bf2, "g"),
+		b.pin(cb[1], "p"), b.pin(cb[3], "p"), b.pin(cb[5], "p"))
+	vt := b.net("vtune", b.pin(var1, "n"), b.pin(var2, "n"))
+	b.net("bank", b.pin(cb[0], "n"), b.pin(cb[1], "n"), b.pin(cb[2], "n"),
+		b.pin(cb[3], "n"), b.pin(cb[4], "n"), b.pin(cb[5], "n"))
+	b.net("tail", b.pin(xn1, "s"), b.pin(xn2, "s"), b.pin(mt, "d"))
+	b.net("outp", b.pin(bf1, "d"))
+	b.net("outn", b.pin(bf2, "d"))
+	b.net("vss", b.pin(mt, "s"), b.pin(bf1, "s"), b.pin(bf2, "s"))
+	b.net("vdd", b.pin(xp1, "s"), b.pin(xp2, "s"), b.pin(mt, "g"))
+	b.n.Nets[b.netIdx["vss"]].Weight = 0.2
+	b.n.Nets[b.netIdx["vdd"]].Weight = 0.2
+
+	b.sym([][2]int{{xn1, xn2}, {xp1, xp2}, {var1, var2},
+		{cb[0], cb[1]}, {cb[2], cb[3]}, {cb[4], cb[5]}, {bf1, bf2}}, mt)
+	n := b.finish()
+
+	metrics := []perfmodel.MetricDef{
+		{
+			Spec: perfmodel.Spec{Name: "Fosc(GHz)", Target: 5.0, HigherBetter: true, Weight: 0.3},
+			Base: 4.6, CapSens: map[int]float64{tankp: 0.035, tankn: 0.035},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Tune(%)", Target: 18, HigherBetter: true, Weight: 0.25},
+			Base: 15.5, CapSens: map[int]float64{vt: 0.02, tankp: 0.01, tankn: 0.01},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "PN(dBc)", Target: 112, HigherBetter: true, Weight: 0.25},
+			Base: 104, MismatchSens: 0.07, CapSens: map[int]float64{tankp: 0.008, tankn: 0.008},
+		},
+		{
+			Spec: perfmodel.Spec{Name: "Power(mW)", Target: 6.5, HigherBetter: false, Weight: 0.2},
+			Base: 5.4, CapSens: map[int]float64{tankp: 0.01, tankn: 0.01},
+		},
+	}
+	return &Case{
+		Netlist:   n,
+		Perf:      model(n, metrics, [][2]int{{tankp, tankn}}),
+		Threshold: 0.60,
+	}
+}
+
+// capSpread builds a sensitivity map giving every listed net the same
+// coefficient.
+func capSpread(nets []int, s float64) map[int]float64 {
+	m := make(map[int]float64, len(nets))
+	for _, e := range nets {
+		m[e] = s
+	}
+	return m
+}

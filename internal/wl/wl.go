@@ -1,0 +1,280 @@
+// Package wl implements the smoothed wirelength models used by analytical
+// placement: the Weighted-Average (WA) function of Eq. (2) adopted by
+// ePlace-A, and the Log-Sum-Exponential (LSE) function used by the
+// NTUplace3-lineage baseline. Both provide analytic gradients with respect
+// to device center coordinates. The package also provides the WA-smoothed
+// total-area term Area(v) = WA_{V,x}(v) · WA_{V,y}(v) from Section IV-A.
+package wl
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Smoother selects the smoothing function for the max/min terms.
+type Smoother int
+
+// Supported smoothing functions.
+const (
+	// WA is the Weighted-Average smoothing of Hsu et al. (used by ePlace-A).
+	WA Smoother = iota
+	// LSE is the Log-Sum-Exponential smoothing (used by the [11] baseline).
+	LSE
+)
+
+func (s Smoother) String() string {
+	if s == WA {
+		return "WA"
+	}
+	return "LSE"
+}
+
+// Evaluator computes a smoothed total wirelength and its gradient. It is
+// bound to one netlist and reusable across iterations; it is not safe for
+// concurrent use.
+type Evaluator struct {
+	n     *circuit.Netlist
+	kind  Smoother
+	gamma float64
+
+	// Scratch buffers sized to the largest net.
+	xs, ys []float64 // pin coordinates
+	gx, gy []float64 // per-pin gradients
+	own    []int     // owning device per pin
+}
+
+// NewEvaluator returns an evaluator for netlist n using the given smoother
+// and smoothing parameter gamma (> 0). Smaller gamma tracks exact HPWL more
+// tightly but yields stiffer gradients.
+func NewEvaluator(n *circuit.Netlist, kind Smoother, gamma float64) *Evaluator {
+	maxPins := 0
+	for e := range n.Nets {
+		if len(n.Nets[e].Pins) > maxPins {
+			maxPins = len(n.Nets[e].Pins)
+		}
+	}
+	return &Evaluator{
+		n:     n,
+		kind:  kind,
+		gamma: gamma,
+		xs:    make([]float64, maxPins),
+		ys:    make([]float64, maxPins),
+		gx:    make([]float64, maxPins),
+		gy:    make([]float64, maxPins),
+		own:   make([]int, maxPins),
+	}
+}
+
+// Gamma returns the current smoothing parameter.
+func (ev *Evaluator) Gamma() float64 { return ev.gamma }
+
+// SetGamma updates the smoothing parameter (ePlace anneals gamma downward
+// as density overflow shrinks).
+func (ev *Evaluator) SetGamma(g float64) { ev.gamma = g }
+
+// Eval returns the smoothed total weighted wirelength at placement p and
+// accumulates its gradient into gradX/gradY (which must be zeroed by the
+// caller if a fresh gradient is wanted; pass nil to skip gradients).
+// Device flips are honored for pin positions but treated as constants.
+func (ev *Evaluator) Eval(p *circuit.Placement, gradX, gradY []float64) float64 {
+	var total float64
+	for e := range ev.n.Nets {
+		net := &ev.n.Nets[e]
+		w := net.Weight
+		if w == 0 {
+			w = 1
+		}
+		k := len(net.Pins)
+		for i, pr := range net.Pins {
+			pt := ev.n.PinPos(p, pr)
+			ev.xs[i], ev.ys[i] = pt.X, pt.Y
+			ev.own[i] = pr.Device
+		}
+		lx := ev.axis(ev.xs[:k], ev.gx[:k], gradX != nil)
+		ly := ev.axis(ev.ys[:k], ev.gy[:k], gradY != nil)
+		total += w * (lx + ly)
+		if gradX != nil {
+			for i := 0; i < k; i++ {
+				gradX[ev.own[i]] += w * ev.gx[i]
+			}
+		}
+		if gradY != nil {
+			for i := 0; i < k; i++ {
+				gradY[ev.own[i]] += w * ev.gy[i]
+			}
+		}
+	}
+	return total
+}
+
+// axis evaluates the smoothed (max - min) of coords and writes per-pin
+// gradients into grad when wantGrad is set. It dispatches on the smoother.
+func (ev *Evaluator) axis(coords, grad []float64, wantGrad bool) float64 {
+	switch ev.kind {
+	case WA:
+		return waAxis(coords, grad, ev.gamma, wantGrad)
+	default:
+		return lseAxis(coords, grad, ev.gamma, wantGrad)
+	}
+}
+
+// waAxis computes the WA approximation of max(coords) - min(coords) per
+// Eq. (2), with exp-shift for numerical stability.
+func waAxis(coords, grad []float64, gamma float64, wantGrad bool) float64 {
+	if len(coords) == 0 {
+		return 0
+	}
+	maxC, minC := coords[0], coords[0]
+	for _, c := range coords[1:] {
+		maxC = math.Max(maxC, c)
+		minC = math.Min(minC, c)
+	}
+	var sp, tp, sm, tm float64 // S+, T+, S-, T-
+	for _, c := range coords {
+		ep := math.Exp((c - maxC) / gamma)
+		em := math.Exp((minC - c) / gamma)
+		sp += ep
+		tp += c * ep
+		sm += em
+		tm += c * em
+	}
+	waMax := tp / sp
+	waMin := tm / sm
+	if wantGrad {
+		for i, c := range coords {
+			ep := math.Exp((c - maxC) / gamma)
+			em := math.Exp((minC - c) / gamma)
+			dMax := (ep / sp) * (1 + (c-waMax)/gamma)
+			dMin := (em / sm) * (1 - (c-waMin)/gamma)
+			grad[i] = dMax - dMin
+		}
+	}
+	return waMax - waMin
+}
+
+// lseAxis computes the LSE approximation gamma·(ln Σe^{x/γ} + ln Σe^{-x/γ}),
+// with exp-shift for numerical stability.
+func lseAxis(coords, grad []float64, gamma float64, wantGrad bool) float64 {
+	if len(coords) == 0 {
+		return 0
+	}
+	maxC, minC := coords[0], coords[0]
+	for _, c := range coords[1:] {
+		maxC = math.Max(maxC, c)
+		minC = math.Min(minC, c)
+	}
+	var sp, sm float64
+	for _, c := range coords {
+		sp += math.Exp((c - maxC) / gamma)
+		sm += math.Exp((minC - c) / gamma)
+	}
+	val := maxC + gamma*math.Log(sp) - (minC - gamma*math.Log(sm))
+	if wantGrad {
+		for i, c := range coords {
+			ep := math.Exp((c-maxC)/gamma) / sp
+			em := math.Exp((minC-c)/gamma) / sm
+			grad[i] = ep - em
+		}
+	}
+	return val
+}
+
+// AreaEvaluator computes the WA-smoothed layout area term
+// Area(v) = WA_{V,x}(v) · WA_{V,y}(v), where the per-axis WA smooths the
+// span between the extreme device edges, and its gradient with respect to
+// device centers.
+type AreaEvaluator struct {
+	n     *circuit.Netlist
+	gamma float64
+
+	lo, hi []float64 // device edge coordinates, scratch
+	gLo    []float64
+	gHi    []float64
+}
+
+// NewAreaEvaluator returns an area evaluator with smoothing parameter gamma.
+func NewAreaEvaluator(n *circuit.Netlist, gamma float64) *AreaEvaluator {
+	k := len(n.Devices)
+	return &AreaEvaluator{
+		n:     n,
+		gamma: gamma,
+		lo:    make([]float64, k),
+		hi:    make([]float64, k),
+		gLo:   make([]float64, k),
+		gHi:   make([]float64, k),
+	}
+}
+
+// SetGamma updates the smoothing parameter.
+func (ae *AreaEvaluator) SetGamma(g float64) { ae.gamma = g }
+
+// spanAxis computes the smoothed span between max(hi) and min(lo) edge
+// coordinates, and the per-device gradient (d span / d center, noting that
+// both edges move 1:1 with the center).
+func (ae *AreaEvaluator) spanAxis(lo, hi, grad []float64, wantGrad bool) float64 {
+	k := len(lo)
+	if k == 0 {
+		return 0
+	}
+	maxC, minC := hi[0], lo[0]
+	for i := 1; i < k; i++ {
+		maxC = math.Max(maxC, hi[i])
+		minC = math.Min(minC, lo[i])
+	}
+	g := ae.gamma
+	var sp, tp, sm, tm float64
+	for i := 0; i < k; i++ {
+		ep := math.Exp((hi[i] - maxC) / g)
+		em := math.Exp((minC - lo[i]) / g)
+		sp += ep
+		tp += hi[i] * ep
+		sm += em
+		tm += lo[i] * em
+	}
+	waMax := tp / sp
+	waMin := tm / sm
+	if wantGrad {
+		for i := 0; i < k; i++ {
+			ep := math.Exp((hi[i] - maxC) / g)
+			em := math.Exp((minC - lo[i]) / g)
+			dMax := (ep / sp) * (1 + (hi[i]-waMax)/g)
+			dMin := (em / sm) * (1 - (lo[i]-waMin)/g)
+			grad[i] = dMax - dMin
+		}
+	}
+	return waMax - waMin
+}
+
+// Eval returns the smoothed area at placement p and accumulates its gradient
+// into gradX/gradY (pass nil to skip).
+func (ae *AreaEvaluator) Eval(p *circuit.Placement, gradX, gradY []float64) float64 {
+	k := len(ae.n.Devices)
+	if k == 0 {
+		return 0
+	}
+	for i := 0; i < k; i++ {
+		d := &ae.n.Devices[i]
+		ae.lo[i] = p.X[i] - d.W/2
+		ae.hi[i] = p.X[i] + d.W/2
+	}
+	wantGrad := gradX != nil && gradY != nil
+	wx := ae.spanAxis(ae.lo, ae.hi, ae.gLo, wantGrad)
+	if wantGrad {
+		copy(ae.gHi, ae.gLo) // stash x-gradient
+	}
+	for i := 0; i < k; i++ {
+		d := &ae.n.Devices[i]
+		ae.lo[i] = p.Y[i] - d.H/2
+		ae.hi[i] = p.Y[i] + d.H/2
+	}
+	gy := ae.gLo
+	wy := ae.spanAxis(ae.lo, ae.hi, gy, wantGrad)
+	if wantGrad {
+		for i := 0; i < k; i++ {
+			gradX[i] += ae.gHi[i] * wy
+			gradY[i] += gy[i] * wx
+		}
+	}
+	return wx * wy
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Paste measured blocks from results/final_run.txt into EXPERIMENTS.md."""
+import re
+import sys
+
+run = open("results/final_run.txt").read()
+doc = open("EXPERIMENTS.md").read()
+
+
+def block(header, stop):
+    i = run.index(header)
+    j = run.index(stop, i)
+    return run[i:j].rstrip()
+
+
+sections = {
+    "TABLE1_MEASURED": block("TABLE I:", "[table1 completed"),
+    "FIG2_MEASURED": block("Fig. 2:", "[fig2 completed"),
+    "TABLE3_MEASURED": block("TABLE III:", "[table3 completed"),
+    "TABLE4_MEASURED": block("TABLE IV:", "[table4 completed"),
+    "FIG5_MEASURED": block("Fig. 5:", "[fig5 completed"),
+    "ABLATIONS_MEASURED": block("Ablations:", "[ablations completed"),
+    "ROUTED_MEASURED": block("Post-route validation:", "[routed completed"),
+    "TABLE5_MEASURED": block("TABLE V:", "[table5 done]"),
+    "TABLE6_MEASURED": block("TABLE VI:", "[table6 completed"),
+    "TABLE7_MEASURED": block("TABLE VII:", "[table7 done]"),
+    "FIG6_MEASURED": block("Fig. 6:", "[fig6 completed"),
+}
+for key, text in sections.items():
+    if key not in doc:
+        sys.exit(f"placeholder {key} missing")
+    doc = doc.replace(key, text)
+
+leftover = re.findall(r"[A-Z0-9]+_MEASURED", doc)
+if leftover:
+    sys.exit(f"unfilled placeholders: {leftover}")
+open("EXPERIMENTS.md", "w").write(doc)
+print("EXPERIMENTS.md filled")
