@@ -12,9 +12,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,9 +25,60 @@ func main() {
 	log.SetPrefix("experiments: ")
 	seed := flag.Int64("seed", 7, "base random seed for every experiment")
 	quick := flag.Bool("quick", false, "reduced budgets (smoke-test scale)")
+	tracePath := flag.String("trace", "", "write a JSONL telemetry trace of every solver run here")
+	verbose := flag.Bool("v", false, "periodic human-readable solver progress on stderr")
+	progEvery := flag.Int("progress-every", 500, "with -v, print every Nth solver iteration")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile here")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile here")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var sinks []obs.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if *verbose {
+		sinks = append(sinks, obs.NewProgressSink(os.Stderr, *progEvery))
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.New(sinks...)
+	}
+	// log.Fatal bypasses deferred calls, so flush telemetry and profiles
+	// explicitly on the success path and accept their loss on fatal exits.
+	finish := func() {
+		if err := tracer.Close(); err != nil {
+			log.Fatalf("closing trace: %v", err)
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Tracer: tracer}
 	sel := flag.Args()
 	if len(sel) == 0 {
 		sel = []string{"all"}
@@ -155,6 +209,7 @@ func main() {
 		return nil
 	})
 
+	finish()
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "unknown experiment selection %v\n", sel)
 		fmt.Fprintf(os.Stderr, "available: table1 fig2 table3 table4 fig5 ablations routed table5 table6 table7 fig6 all\n")

@@ -8,16 +8,21 @@
 //	placer -in mydesign.json -method sa -out placed.json
 //	placer -circuit VGA -method eplace-a -perf       (trains a GNN first)
 //	placer -circuit Adder -dump-netlist              (emit the JSON schema)
+//	placer -circuit CC-OTA -trace t.jsonl -v         (telemetry + progress)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/testcircuits"
 )
 
@@ -34,6 +39,12 @@ func main() {
 		list    = flag.Bool("list", false, "list built-in benchmark circuits")
 		dumpNet = flag.Bool("dump-netlist", false, "write the selected circuit's netlist JSON and exit")
 		svgPath = flag.String("svg", "", "additionally render the placement to this SVG file")
+
+		tracePath  = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver iterations, counters) here")
+		verbose    = flag.Bool("v", false, "periodic human-readable progress on stderr")
+		progEvery  = flag.Int("progress-every", 100, "with -v, print every Nth solver iteration")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile here")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile here")
 	)
 	flag.Parse()
 
@@ -44,49 +55,100 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var sinks []obs.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if *verbose {
+		sinks = append(sinks, obs.NewProgressSink(os.Stderr, *progEvery))
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.New(sinks...)
+	}
+
+	err := run(*inPath, *name, *method, *outPath, *svgPath, *seed, *perf, *dumpNet, tracer)
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("closing trace: %w", cerr)
+	}
+	if *memProfile != "" && err == nil {
+		err = writeHeapProfile(*memProfile)
+	}
+	if err != nil {
+		pprof.StopCPUProfile() // log.Fatal skips deferred calls
+		log.Fatal(err)
+	}
+}
+
+// run executes the placement flow; all fallible work lives here so main
+// can release the profiler and tracer on every exit path.
+func run(inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNet bool, tracer *obs.Tracer) error {
 	var n *circuit.Netlist
 	var cs *testcircuits.Case
 	switch {
-	case *inPath != "":
-		f, err := os.Open(*inPath)
+	case inPath != "":
+		f, err := os.Open(inPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n, err = circuit.ReadJSON(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-	case *name != "":
+	case name != "":
 		var err error
-		cs, err = testcircuits.ByName(*name)
+		cs, err = testcircuits.ByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n = cs.Netlist
 	default:
-		log.Fatal("need -in FILE or -circuit NAME (try -list)")
+		return fmt.Errorf("need -in FILE or -circuit NAME (try -list)")
 	}
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	// writeOut routes output to -out or stdout, failing loudly on any
+	// write or close error so a truncated placement can never be silently
+	// reported as success.
+	writeOut := func(write func(io.Writer) error) error {
+		if outPath == "" {
+			return write(os.Stdout)
+		}
+		f, err := os.Create(outPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer f.Close()
-		out = f
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", outPath, err)
+		}
+		return nil
 	}
 
-	if *dumpNet {
-		if err := n.WriteJSON(out); err != nil {
-			log.Fatal(err)
-		}
-		return
+	if dumpNet {
+		return writeOut(n.WriteJSON)
 	}
 
 	var m core.Method
-	switch *method {
+	switch method {
 	case "sa":
 		m = core.MethodSA
 	case "prev":
@@ -94,18 +156,18 @@ func main() {
 	case "eplace-a":
 		m = core.MethodEPlaceA
 	default:
-		log.Fatalf("unknown method %q (want sa, prev, or eplace-a)", *method)
+		return fmt.Errorf("unknown method %q (want sa, prev, or eplace-a)", method)
 	}
 
-	opt := core.Options{Seed: *seed}
-	if *perf {
+	opt := core.Options{Seed: seed, Tracer: tracer}
+	if perf {
 		if cs == nil {
-			log.Fatal("-perf needs a built-in circuit (the GNN trains against its performance model)")
+			return fmt.Errorf("-perf needs a built-in circuit (the GNN trains against its performance model)")
 		}
 		log.Print("training performance GNN...")
-		model, stats, err := core.TrainPerfGNN(n, cs.Perf, 0, core.TrainOptions{Seed: *seed})
+		model, stats, err := core.TrainPerfGNN(n, cs.Perf, 0, core.TrainOptions{Seed: seed, Tracer: tracer})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("trained (validation accuracy %.2f)", stats.ValAccuracy)
 		opt.Perf = &core.PerfTerm{Model: model}
@@ -113,25 +175,46 @@ func main() {
 
 	res, err := core.Place(n, m, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("%s: area %.1f µm², HPWL %.1f µm, %.2fs, legal=%v",
 		res.Method, res.AreaUM2, res.HPWLUM, res.Runtime.Seconds(), res.Legal)
 	if cs != nil {
 		log.Printf("FOM %.3f", cs.Perf.FOM(n, res.Placement))
 	}
-	if err := n.WritePlacementJSON(out, res.Placement); err != nil {
-		log.Fatal(err)
+	if err := writeOut(func(w io.Writer) error {
+		return n.WritePlacementJSON(w, res.Placement)
+	}); err != nil {
+		return err
 	}
-	if *svgPath != "" {
-		f, err := os.Create(*svgPath)
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer f.Close()
 		if err := n.WriteSVG(f, res.Placement); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return fmt.Errorf("writing %s: %w", svgPath, err)
 		}
-		log.Printf("wrote %s", *svgPath)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", svgPath, err)
+		}
+		log.Printf("wrote %s", svgPath)
 	}
+	return nil
+}
+
+// writeHeapProfile snapshots the heap after a final GC, the profile most
+// useful for sizing solver allocations.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

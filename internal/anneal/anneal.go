@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/seqpair"
 )
 
@@ -36,6 +37,15 @@ type Options struct {
 	// joins the cost.
 	Perf       PerfModel
 	PerfWeight float64
+
+	// Tracer, when non-nil, wraps the run in an "sa" span (one
+	// "restart-N" sub-span per restart) and emits one progress sample
+	// every TraceEvery proposals: temperature, windowed acceptance rate,
+	// current and best cost. Nil costs one pointer check per move.
+	Tracer *obs.Tracer
+	// TraceEvery is the sampling cadence in proposals (default Moves/200,
+	// at least 1).
+	TraceEvery int
 }
 
 func (o *Options) defaults(n int) {
@@ -47,6 +57,12 @@ func (o *Options) defaults(n int) {
 	}
 	if o.AreaWeight == 0 && o.WLWeight == 0 {
 		o.AreaWeight, o.WLWeight = 0.5, 0.5
+	}
+	if o.TraceEvery == 0 {
+		o.TraceEvery = o.Moves / 200
+		if o.TraceEvery < 1 {
+			o.TraceEvery = 1
+		}
 	}
 }
 
@@ -359,10 +375,14 @@ func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) 
 	ev := newEvaluator(n, &opt)
 	stats := &Stats{}
 
+	saSpan := opt.Tracer.StartSpan("sa")
+	defer saSpan.End()
+
 	var bestPlace *circuit.Placement
 	bestCost := math.Inf(1)
 
 	for restart := 0; restart < opt.Restarts; restart++ {
+		restartSpan := opt.Tracer.StartSpan(fmt.Sprintf("restart-%d", restart))
 		cur := &state{sp: seqpair.Random(len(macros), rng), macros: macros}
 		cur = cur.clone() // own the macro state
 		curCost := ev.cost(cur)
@@ -380,14 +400,17 @@ func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) 
 		alpha := math.Pow(tf/t0, 1/float64(opt.Moves))
 
 		temp := t0
+		winProposals, winAccepts := 0, 0
 		for move := 0; move < opt.Moves; move++ {
 			trial := cur.clone()
 			mutate(trial, rng)
 			c := ev.cost(trial)
 			stats.Proposals++
+			winProposals++
 			if d := c - curCost; d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				cur, curCost = trial, c
 				stats.Accepts++
+				winAccepts++
 				if curCost < bestCost {
 					bestCost = curCost
 					ev.realize(cur)
@@ -395,9 +418,23 @@ func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) 
 				}
 			}
 			temp *= alpha
+			if opt.Tracer != nil && (move+1)%opt.TraceEvery == 0 {
+				opt.Tracer.SAEvent(obs.SARecord{
+					Restart: restart, Move: move + 1, Temp: temp,
+					AcceptRate: float64(winAccepts) / float64(winProposals),
+					Cur:        curCost, Best: bestCost,
+				})
+				winProposals, winAccepts = 0, 0
+			}
 		}
+		restartSpan.End()
 	}
 	stats.BestCost = bestCost
 	n.Normalize(bestPlace)
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("sa.proposals", float64(stats.Proposals))
+		opt.Tracer.Count("sa.accepts", float64(stats.Accepts))
+		opt.Tracer.Gauge("sa.best_cost", bestCost)
+	}
 	return bestPlace, stats, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/detailed"
 	"repro/internal/eplacea"
 	"repro/internal/gnn"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/prevwork"
 )
@@ -85,6 +86,12 @@ type Options struct {
 	// single run.
 	Portfolio int
 
+	// Tracer, when non-nil, wraps the flow in a "place" span and is
+	// threaded into every stage (global placement, annealing, detailed
+	// placement), whose packages emit their own spans and per-iteration
+	// events. Per-stage overrides that already carry a tracer keep it.
+	Tracer *obs.Tracer
+
 	// Advanced per-stage overrides (optional).
 	GP   *eplacea.Options
 	Prev *prevwork.Options
@@ -112,6 +119,8 @@ type Result struct {
 // placement and its quality metrics.
 func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 	start := time.Now()
+	placeSpan := opt.Tracer.StartSpan("place")
+	defer placeSpan.End()
 	res := &Result{Method: method}
 	switch method {
 	case MethodSA:
@@ -121,6 +130,9 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 			if saOpt.Seed == 0 {
 				saOpt.Seed = opt.Seed
 			}
+		}
+		if saOpt.Tracer == nil {
+			saOpt.Tracer = opt.Tracer
 		}
 		if opt.AreaWeight > 0 {
 			saOpt.AreaWeight = opt.AreaWeight
@@ -148,6 +160,9 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 				gpOpt.Seed = opt.Seed
 			}
 		}
+		if gpOpt.Tracer == nil {
+			gpOpt.Tracer = opt.Tracer
+		}
 		gp, err := prevwork.PlaceExtra(n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
 		if err != nil {
 			return nil, err
@@ -157,6 +172,9 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 		if opt.DP != nil {
 			dpOpt = *opt.DP
 			dpOpt.Mode = detailed.ModeTwoStageLP
+		}
+		if dpOpt.Tracer == nil {
+			dpOpt.Tracer = opt.Tracer
 		}
 		dp, err := detailed.Place(n, gp.Placement, dpOpt)
 		if err != nil {
@@ -179,6 +197,9 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 		if opt.AreaWeight > 0 {
 			baseGP.AreaWeight = opt.AreaWeight
 		}
+		if baseGP.Tracer == nil {
+			baseGP.Tracer = opt.Tracer
+		}
 		dpOpt := detailed.Options{Mode: detailed.ModeIntegratedILP, Mu: opt.Mu}
 		if opt.DP != nil {
 			dpOpt = *opt.DP
@@ -186,6 +207,9 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 			if dpOpt.Mu == 0 {
 				dpOpt.Mu = opt.Mu
 			}
+		}
+		if dpOpt.Tracer == nil {
+			dpOpt.Tracer = opt.Tracer
 		}
 		// Portfolio variants diversify the density schedule: a standard
 		// run, a roomier region with a gentler multiplier ramp, and a slow
@@ -305,6 +329,11 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 	res.AreaUM2 = circuit.AreaUM2(n.Area(res.Placement))
 	res.HPWLUM = circuit.LenUM(n.HPWL(res.Placement))
 	res.Legal = n.CheckLegal(res.Placement, 1e-6).OK()
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("place.runs", 1)
+		opt.Tracer.Gauge("place.area_um2", res.AreaUM2)
+		opt.Tracer.Gauge("place.hpwl_um", res.HPWLUM)
+	}
 	return res, nil
 }
 
@@ -333,6 +362,10 @@ type TrainOptions struct {
 	// placer-quality layouts rather than only rows-vs-random (default 10;
 	// set negative to disable).
 	Anchors int
+
+	// Tracer, when non-nil, wraps dataset generation and training in a
+	// "gnn-train" span and receives per-epoch Adam loss events.
+	Tracer *obs.Tracer
 }
 
 // TrainPerfGNN generates a labeled dataset for netlist n — half
@@ -353,6 +386,8 @@ func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
 	if opt.Epochs == 0 {
 		opt.Epochs = 60
 	}
+	trainSpan := opt.Tracer.StartSpan("gnn-train")
+	defer trainSpan.End()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	scale := math.Sqrt(n.TotalDeviceArea())
 	model := gnn.New(n, scale*2, opt.Seed+1)
@@ -444,7 +479,7 @@ func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
 		return nil, nil, fmt.Errorf("core: degenerate training labels for %s (bad=%d of %d; adjust threshold %.2f)",
 			n.Name, bad, len(samples), threshold)
 	}
-	stats, err := model.Train(samples, gnn.TrainOptions{Seed: opt.Seed + 2, Epochs: opt.Epochs})
+	stats, err := model.Train(samples, gnn.TrainOptions{Seed: opt.Seed + 2, Epochs: opt.Epochs, Tracer: opt.Tracer})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -19,10 +19,12 @@ package detailed
 
 import (
 	"math"
+	"strconv"
 
 	"repro/internal/circuit"
 	"repro/internal/ilp"
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Mode selects the detailed-placement back-end.
@@ -63,6 +65,12 @@ type Options struct {
 	// the rough GP geometry) and the ILP is solved again. Each iteration's
 	// incumbent remains feasible, so quality is monotone. Default 3.
 	Refinements int
+
+	// Tracer, when non-nil, wraps the run in a "detailed" span (one
+	// "refine-N" sub-span per integrated refinement pass) and threads
+	// through to every LP/ILP solve, which emit per-solve events. Nil
+	// costs one pointer check.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -98,6 +106,8 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 		return nil, err
 	}
 	opt.defaults()
+	sp := opt.Tracer.StartSpan("detailed")
+	defer sp.End()
 
 	ref := snapReference(n, gp)
 	gs := deriveGraphs(n, ref)
@@ -107,26 +117,29 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 
 	switch opt.Mode {
 	case ModeTwoStageLP:
-		if err := twoStageAxis(n, axisX, gs, out); err != nil {
+		if err := twoStageAxis(n, axisX, gs, opt.Tracer, out); err != nil {
 			return nil, err
 		}
-		if err := twoStageAxis(n, axisY, gs, out); err != nil {
+		if err := twoStageAxis(n, axisY, gs, opt.Tracer, out); err != nil {
 			return nil, err
 		}
 	default:
 		tilde := math.Sqrt(n.TotalDeviceArea() / opt.Zeta)
 		prevScore := math.Inf(1)
 		for iter := 0; iter < opt.Refinements; iter++ {
+			refineSpan := opt.Tracer.StartSpan(refineName(iter))
 			if iter == 0 || opt.NoFlips {
 				// Full ILP (branch and bound over flip binaries) on the
 				// first pass; later passes keep the flip assignment and
 				// re-optimize coordinates, which is where refinement pays.
 				nx, err := integratedAxis(n, axisX, gs, opt, tilde, out)
 				if err != nil {
+					refineSpan.End()
 					return nil, err
 				}
 				ny, err := integratedAxis(n, axisY, gs, opt, tilde, out)
 				if err != nil {
+					refineSpan.End()
 					return nil, err
 				}
 				nodes += nx + ny
@@ -135,13 +148,16 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 				improveFlips(n, out)
 				// Re-tighten coordinates for the final flip assignment.
 				if err := resolveCoords(n, axisX, gs, opt, tilde, out); err != nil {
+					refineSpan.End()
 					return nil, err
 				}
 				if err := resolveCoords(n, axisY, gs, opt, tilde, out); err != nil {
+					refineSpan.End()
 					return nil, err
 				}
 			}
 			score := n.Area(out) + n.HPWL(out)
+			refineSpan.End()
 			if score > prevScore*0.999 {
 				break // converged: further refinement cannot pay off
 			}
@@ -162,13 +178,32 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 			flips++
 		}
 	}
-	return &Result{
+	res := &Result{
 		Placement: out,
 		Area:      n.Area(out),
 		HPWL:      n.HPWL(out),
 		ILPNodes:  nodes,
 		FlipsUsed: flips,
-	}, nil
+	}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("dp.runs", 1)
+		opt.Tracer.Gauge("dp.final_area", res.Area)
+		opt.Tracer.Gauge("dp.final_hpwl", res.HPWL)
+	}
+	return res, nil
+}
+
+// axisName labels telemetry events with the axis being solved.
+func axisName(kind axisKind) string {
+	if kind == axisX {
+		return "x"
+	}
+	return "y"
+}
+
+// refineName labels the integrated mode's refinement-pass spans.
+func refineName(iter int) string {
+	return "refine-" + strconv.Itoa(iter)
 }
 
 // integratedAxis solves one axis of the integrated ILP: LP warm start with
@@ -186,7 +221,7 @@ func integratedAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
 	m := buildAxisModel(n, kind, gs, spec)
 
 	if opt.NoFlips {
-		sol, err := lp.Solve(m.prob)
+		sol, err := lp.SolveTraced(m.prob, opt.Tracer, "integrated-"+axisName(kind))
 		if err != nil {
 			return 0, err
 		}
@@ -198,7 +233,7 @@ func integratedAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
 	}
 
 	// Warm start: default (mirror-consistent) flip assignment.
-	warm, err := lp.Solve(m.withFixedFlips(warmFlips(n, kind)))
+	warm, err := lp.SolveTraced(m.withFixedFlips(warmFlips(n, kind)), opt.Tracer, "warm-start-"+axisName(kind))
 	if err != nil {
 		return 0, err
 	}
@@ -209,6 +244,8 @@ func integratedAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
 		MaxNodes:     opt.MaxNodes,
 		Incumbent:    warm.X,
 		IncumbentObj: warm.Obj,
+		Tracer:       opt.Tracer,
+		Label:        "integrated-" + axisName(kind),
 	})
 	if err != nil {
 		// Node cap without improvement: fall back to the warm start.
@@ -235,7 +272,7 @@ func resolveCoords(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
 	if kind == axisY {
 		flips = out.FlipY
 	}
-	sol, err := lp.Solve(m.withFixedFlips(flips))
+	sol, err := lp.SolveTraced(m.withFixedFlips(flips), opt.Tracer, "flip-fixed-"+axisName(kind))
 	if err != nil {
 		return err
 	}
@@ -248,10 +285,10 @@ func resolveCoords(n *circuit.Netlist, kind axisKind, gs constraintGraphs,
 
 // twoStageAxis runs the [11] flow on one axis: minimize extent, then
 // minimize wirelength subject to the achieved extent.
-func twoStageAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs, out *circuit.Placement) error {
+func twoStageAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs, tr *obs.Tracer, out *circuit.Placement) error {
 	// Stage 1: area compaction.
 	m1 := buildAxisModel(n, kind, gs, modelSpec{withExtent: true, extentObj: 1})
-	s1, err := lp.Solve(m1.prob)
+	s1, err := lp.SolveTraced(m1.prob, tr, "compaction-"+axisName(kind))
 	if err != nil {
 		return err
 	}
@@ -266,7 +303,7 @@ func twoStageAxis(n *circuit.Netlist, kind axisKind, gs constraintGraphs, out *c
 		withExtent: true,
 		extentCap:  extent + 1e-9,
 	})
-	s2, err := lp.Solve(m2.prob)
+	s2, err := lp.SolveTraced(m2.prob, tr, "wirelength-"+axisName(kind))
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/nlopt"
+	"repro/internal/obs"
 	"repro/internal/wl"
 )
 
@@ -66,6 +67,13 @@ type Options struct {
 	// the ablation isolating the paper's reason (2) for ePlace-A's edge
 	// over [11] (WA has lower estimation error [23]).
 	UseLSE bool
+
+	// Tracer, when non-nil, wraps the run in a "gp" span and emits one
+	// "eplace-gp" iteration event per Nesterov iteration (objective, exact
+	// HPWL, overflow, λ, symmetry penalty, and per-term gradient norms)
+	// alongside the underlying solver's own events. Telemetry is
+	// observation-only; a nil Tracer costs one pointer check.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -127,6 +135,8 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, erro
 		return nil, err
 	}
 	opt.defaults()
+	sp := opt.Tracer.StartSpan("gp")
+	defer sp.End()
 	nd := len(n.Devices)
 
 	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
@@ -167,8 +177,20 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, erro
 	_, iters := nlopt.Nesterov(st.objective, x, nlopt.NesterovOptions{
 		MaxIter:  opt.MaxIter,
 		InitStep: binW, // about one bin per step to start
+		Tracer:   opt.Tracer,
 		Callback: func(iter int, cur []float64, f float64) bool {
 			iterRun = iter + 1
+			if opt.Tracer.Enabled() {
+				copy(p.X, cur[:nd])
+				copy(p.Y, cur[nd:])
+				opt.Tracer.IterEvent(obs.IterRecord{
+					Solver: "eplace-gp", Iter: iter, F: f,
+					HPWL: n.HPWL(p), Overflow: st.lastOverflow,
+					Lambda: st.lambda, Sym: st.lastSym,
+					GradWL: st.gWL, GradDensity: st.gDen,
+					GradSym: st.gSym, GradArea: st.gArea, GradExtra: st.gExtra,
+				})
+			}
 			st.schedule(iter)
 			if iter >= 50 && st.lastOverflow < opt.StopOverflow {
 				return false
@@ -184,13 +206,20 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, erro
 	n.Normalize(p)
 
 	grid.Update(n, p)
-	return &Result{
+	res := &Result{
 		Placement:  p,
 		Iterations: iterRun,
 		Overflow:   grid.Overflow(n, 1.0),
 		HPWL:       n.HPWL(p),
 		Region:     region,
-	}, nil
+	}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("gp.runs", 1)
+		opt.Tracer.Count("gp.iterations", float64(iterRun))
+		opt.Tracer.Gauge("gp.final_overflow", res.Overflow)
+		opt.Tracer.Gauge("gp.final_hpwl", res.HPWL)
+	}
+	return res, nil
 }
 
 // solveState carries the objective's mutable weights and scratch space.
@@ -211,6 +240,12 @@ type solveState struct {
 	alpha  float64 // extra-term multiplier (1 when extra != nil)
 
 	lastOverflow float64
+
+	// Telemetry snapshots of the most recent objective evaluation, filled
+	// only when the tracer is enabled: the symmetry penalty value and the
+	// L2 norm of each weighted gradient component (the force balance).
+	lastSym                        float64
+	gWL, gDen, gSym, gArea, gExtra float64
 
 	gx, gy   []float64
 	sgx, sgy []float64
@@ -285,10 +320,14 @@ func (st *solveState) objective(x, grad []float64) float64 {
 	nd := len(st.n.Devices)
 	copy(st.p.X, x[:nd])
 	copy(st.p.Y, x[nd:])
+	traced := st.opt.Tracer.Enabled()
 
 	zero(st.gx)
 	zero(st.gy)
 	f := st.wlEv.Eval(st.p, st.gx, st.gy)
+	if traced {
+		st.gWL = norm2xy(st.gx, st.gy)
+	}
 
 	st.grid.Update(st.n, st.p)
 	zero(st.sgx)
@@ -298,6 +337,9 @@ func (st *solveState) objective(x, grad []float64) float64 {
 	for i := 0; i < nd; i++ {
 		st.gx[i] += st.lambda * st.sgx[i]
 		st.gy[i] += st.lambda * st.sgy[i]
+	}
+	if traced {
+		st.gDen = st.lambda * norm2xy(st.sgx, st.sgy)
 	}
 	st.lastOverflow = st.grid.Overflow(st.n, 1.0)
 
@@ -310,6 +352,10 @@ func (st *solveState) objective(x, grad []float64) float64 {
 			st.gx[i] += st.tau * st.sgx[i]
 			st.gy[i] += st.tau * st.sgy[i]
 		}
+		if traced {
+			st.lastSym = sp
+			st.gSym = st.tau * norm2xy(st.sgx, st.sgy)
+		}
 	}
 
 	if st.eta > 0 {
@@ -321,6 +367,9 @@ func (st *solveState) objective(x, grad []float64) float64 {
 			st.gx[i] += st.eta * st.sgx[i]
 			st.gy[i] += st.eta * st.sgy[i]
 		}
+		if traced {
+			st.gArea = st.eta * norm2xy(st.sgx, st.sgy)
+		}
 	}
 
 	if st.extra != nil {
@@ -331,6 +380,9 @@ func (st *solveState) objective(x, grad []float64) float64 {
 		for i := 0; i < nd; i++ {
 			st.gx[i] += st.alpha * st.sgx[i]
 			st.gy[i] += st.alpha * st.sgy[i]
+		}
+		if traced {
+			st.gExtra = st.alpha * norm2xy(st.sgx, st.sgy)
 		}
 	}
 
@@ -411,4 +463,16 @@ func zero(v []float64) {
 	for i := range v {
 		v[i] = 0
 	}
+}
+
+// norm2xy is the Euclidean norm of the concatenated (gx, gy) gradient.
+func norm2xy(gx, gy []float64) float64 {
+	var s float64
+	for _, v := range gx {
+		s += v * v
+	}
+	for _, v := range gy {
+		s += v * v
+	}
+	return math.Sqrt(s)
 }

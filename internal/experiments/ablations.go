@@ -39,7 +39,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{
+		base, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 			Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 		})
 		if err != nil {
@@ -51,19 +51,19 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			tag string
 			opt core.Options
 		}{
-			{"wa-vs-lse", core.Options{
+			{"wa-vs-lse", core.Options{Tracer: cfg.Tracer,
 				Seed: cfg.Seed, Portfolio: 1,
 				GP: &eplacea.Options{Seed: cfg.Seed, UseLSE: true},
 			}},
-			{"no-flipping", core.Options{
+			{"no-flipping", core.Options{Tracer: cfg.Tracer,
 				Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 				DP: &detailed.Options{NoFlips: true},
 			}},
-			{"no-refinement", core.Options{
+			{"no-refinement", core.Options{Tracer: cfg.Tracer,
 				Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 				DP: &detailed.Options{Refinements: 1},
 			}},
-			{"no-portfolio", core.Options{
+			{"no-portfolio", core.Options{Tracer: cfg.Tracer,
 				Seed: cfg.Seed, Portfolio: 1,
 			}},
 		}
@@ -76,7 +76,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			// The wa-vs-lse variant disables the portfolio so the smoother
 			// is isolated; compare it against a single-start baseline too.
 			if v.tag == "wa-vs-lse" {
-				b1, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{
+				b1, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 					Seed: cfg.Seed, Portfolio: 1,
 				})
 				if err != nil {
@@ -134,7 +134,7 @@ func RoutedValidation(cfg Config) ([]RoutedRow, error) {
 			return nil, err
 		}
 		for _, m := range []core.Method{core.MethodSA, core.MethodPrev, core.MethodEPlaceA} {
-			opt := core.Options{Seed: cfg.Seed, Portfolio: cfg.portfolio()}
+			opt := core.Options{Tracer: cfg.Tracer, Seed: cfg.Seed, Portfolio: cfg.portfolio()}
 			if m == core.MethodSA {
 				opt.SA = cfg.saOptions(cfg.Seed)
 			}
@@ -142,7 +142,7 @@ func RoutedValidation(cfg Config) ([]RoutedRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			rr, err := routePlacement(c, res)
+			rr, err := routePlacement(cfg, c, res)
 			if err != nil {
 				return nil, fmt.Errorf("routing %s/%v: %w", name, m, err)
 			}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/core"
 	"repro/internal/gnn"
+	"repro/internal/obs"
 	"repro/internal/testcircuits"
 )
 
@@ -23,15 +24,18 @@ type Config struct {
 	// Quick trades fidelity for speed (small SA budgets, single-start
 	// portfolio, small GNN datasets) so tests and benchmarks stay fast.
 	Quick bool
+	// Tracer, when non-nil, is threaded into every placement, GNN training,
+	// and routing call the experiments make.
+	Tracer *obs.Tracer
 }
 
 // saOptions returns the simulated-annealing budget for the run mode: the
 // full mode mirrors the paper's "practical runtime limit" regime.
 func (c Config) saOptions(seed int64) *anneal.Options {
 	if c.Quick {
-		return &anneal.Options{Seed: seed, Moves: 30000, Restarts: 1}
+		return &anneal.Options{Seed: seed, Moves: 30000, Restarts: 1, Tracer: c.Tracer}
 	}
-	return &anneal.Options{Seed: seed} // package defaults: long chains, 2 restarts
+	return &anneal.Options{Seed: seed, Tracer: c.Tracer} // package defaults: long chains, 2 restarts
 }
 
 // perfSAOptions returns the budget for performance-driven SA, whose cost
@@ -39,9 +43,9 @@ func (c Config) saOptions(seed int64) *anneal.Options {
 // runtimes are of the same magnitude as its conventional SA.
 func (c Config) perfSAOptions(seed int64, n int) *anneal.Options {
 	if c.Quick {
-		return &anneal.Options{Seed: seed, Moves: 8000, Restarts: 1}
+		return &anneal.Options{Seed: seed, Moves: 8000, Restarts: 1, Tracer: c.Tracer}
 	}
-	return &anneal.Options{Seed: seed, Moves: 100000 + 5000*n, Restarts: 2}
+	return &anneal.Options{Seed: seed, Moves: 100000 + 5000*n, Restarts: 2, Tracer: c.Tracer}
 }
 
 // portfolio returns the ePlace-A portfolio size.
@@ -55,9 +59,9 @@ func (c Config) portfolio() int {
 // trainOptions returns the GNN training configuration.
 func (c Config) trainOptions(seed int64) core.TrainOptions {
 	if c.Quick {
-		return core.TrainOptions{Seed: seed, Samples: 300, Epochs: 20, Anchors: -1}
+		return core.TrainOptions{Seed: seed, Samples: 300, Epochs: 20, Anchors: -1, Tracer: c.Tracer}
 	}
-	return core.TrainOptions{Seed: seed, Samples: 1200, Epochs: 45}
+	return core.TrainOptions{Seed: seed, Samples: 1200, Epochs: 45, Tracer: c.Tracer}
 }
 
 // MethodMetrics is one method's result on one circuit.

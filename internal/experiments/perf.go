@@ -23,7 +23,7 @@ func perfRun(cfg Config, c *testcircuits.Case, models *Models,
 	m core.Method) (convFOM, perfFOM float64, perfMetrics MethodMetrics, err error) {
 
 	n := c.Netlist
-	opt := core.Options{Seed: cfg.Seed, Portfolio: cfg.portfolio()}
+	opt := core.Options{Tracer: cfg.Tracer, Seed: cfg.Seed, Portfolio: cfg.portfolio()}
 	if m == core.MethodSA {
 		opt.SA = cfg.saOptions(cfg.Seed)
 	}
@@ -33,7 +33,7 @@ func perfRun(cfg Config, c *testcircuits.Case, models *Models,
 	}
 	convFOM = c.Perf.FOM(n, conv.Placement)
 
-	popt := core.Options{
+	popt := core.Options{Tracer: cfg.Tracer,
 		Seed:      cfg.Seed,
 		Portfolio: cfg.portfolio(),
 		Perf:      &core.PerfTerm{Model: models.ByName[n.Name]},
@@ -133,11 +133,11 @@ func Table6(cfg Config, models *Models) (*Table6Result, error) {
 		return nil, fmt.Errorf("table6: CC-OTA model missing")
 	}
 	n := c.Netlist
-	conv, err := core.Place(n, core.MethodEPlaceA, core.Options{Seed: cfg.Seed, Portfolio: cfg.portfolio()})
+	conv, err := core.Place(n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer, Seed: cfg.Seed, Portfolio: cfg.portfolio()})
 	if err != nil {
 		return nil, err
 	}
-	perf, err := core.Place(n, core.MethodEPlaceA, core.Options{
+	perf, err := core.Place(n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 		Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 		Perf: &core.PerfTerm{Model: models.ByName[n.Name]},
 	})
@@ -235,7 +235,7 @@ func Fig6(cfg Config, models *Models) ([]SweepPoint, error) {
 	var pts []SweepPoint
 	for _, w := range weights {
 		for mi, m := range []core.Method{core.MethodSA, core.MethodPrev, core.MethodEPlaceA} {
-			opt := core.Options{
+			opt := core.Options{Tracer: cfg.Tracer,
 				Seed:      cfg.Seed,
 				Portfolio: cfg.portfolio(),
 				Perf:      &core.PerfTerm{Model: model, Weight: w},

@@ -9,8 +9,8 @@ import (
 
 // routePlacement globally routes a placement result and returns its routed
 // wirelength alongside the HPWL.
-func routePlacement(c *testcircuits.Case, res *core.Result) (*RoutedRow, error) {
-	rr, err := route.Route(c.Netlist, res.Placement, route.Options{})
+func routePlacement(cfg Config, c *testcircuits.Case, res *core.Result) (*RoutedRow, error) {
+	rr, err := route.Route(c.Netlist, res.Placement, route.Options{Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nlopt"
+	"repro/internal/obs"
 )
 
 // Sample is one training example: a placement (as raw coordinate slices so
@@ -23,6 +24,10 @@ type TrainOptions struct {
 	LR        float64 // default 3e-3
 	Seed      int64
 	ValFrac   float64 // fraction held out for validation accuracy (default 0.2)
+
+	// Tracer, when non-nil, emits one "adam" iteration event per epoch
+	// (mean training loss) and a gnn.val_accuracy gauge at the end.
+	Tracer *obs.Tracer
 }
 
 func (o *TrainOptions) defaults() {
@@ -108,6 +113,9 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			m.unflatten(flat)
 		}
 		lastLoss = epochLoss / float64(len(train))
+		if opt.Tracer != nil {
+			opt.Tracer.IterEvent(obs.IterRecord{Solver: "adam", Iter: epoch, F: lastLoss})
+		}
 	}
 
 	correct := 0
@@ -120,11 +128,17 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			correct++
 		}
 	}
-	return &TrainStats{
+	stats := &TrainStats{
 		FinalLoss:   lastLoss,
 		ValAccuracy: float64(correct) / float64(len(val)),
 		Epochs:      opt.Epochs,
-	}, nil
+	}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("gnn.epochs", float64(opt.Epochs))
+		opt.Tracer.Gauge("gnn.final_loss", stats.FinalLoss)
+		opt.Tracer.Gauge("gnn.val_accuracy", stats.ValAccuracy)
+	}
+	return stats, nil
 }
 
 // bce is binary cross-entropy with clamping for numerical safety.

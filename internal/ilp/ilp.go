@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Problem couples an LP with integrality requirements.
@@ -28,6 +29,14 @@ type Options struct {
 	// exact objective of Incumbent.
 	Incumbent    []float64
 	IncumbentObj float64
+
+	// Tracer, when non-nil, emits one "ilp" event per run (root problem
+	// size, branch-and-bound nodes, best objective, status) plus one
+	// "incumbent"-labeled event per improving integer-feasible point, and
+	// bumps the ilp.solves/ilp.nodes counters.
+	Tracer *obs.Tracer
+	// Label tags the run's telemetry events with the caller's purpose.
+	Label string
 }
 
 // Status reports the outcome of a branch-and-bound run.
@@ -156,6 +165,13 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 			// Integer feasible: new incumbent.
 			bestObj = sol.Obj
 			bestX = append([]float64(nil), sol.X...)
+			if opt.Tracer != nil {
+				opt.Tracer.LPEvent(obs.LPRecord{
+					Solver: "ilp", Label: "incumbent",
+					Rows: p.LP.NumRows(), Cols: p.LP.NumVars(),
+					Nodes: nodes, Obj: bestObj, Status: "feasible",
+				})
+			}
 			continue
 		}
 		v := sol.X[branchVar]
@@ -169,15 +185,31 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		}
 	}
 
-	if bestX == nil {
-		if capped {
-			return &Solution{Status: Infeasible, Nodes: nodes}, ErrNoSolution
+	emit := func(s *Solution) {
+		if opt.Tracer == nil {
+			return
 		}
-		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+		opt.Tracer.LPEvent(obs.LPRecord{
+			Solver: "ilp", Label: opt.Label,
+			Rows: p.LP.NumRows(), Cols: p.LP.NumVars(),
+			Nodes: s.Nodes, Obj: s.Obj, Status: s.Status.String(),
+		})
+		opt.Tracer.Count("ilp.solves", 1)
+		opt.Tracer.Count("ilp.nodes", float64(s.Nodes))
+	}
+	if bestX == nil {
+		s := &Solution{Status: Infeasible, Nodes: nodes}
+		emit(s)
+		if capped {
+			return s, ErrNoSolution
+		}
+		return s, nil
 	}
 	st := Optimal
 	if capped {
 		st = Feasible
 	}
-	return &Solution{Status: st, X: bestX, Obj: bestObj, Nodes: nodes}, nil
+	s := &Solution{Status: st, X: bestX, Obj: bestObj, Nodes: nodes}
+	emit(s)
+	return s, nil
 }

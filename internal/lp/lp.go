@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Sense is a constraint relation.
@@ -147,6 +149,30 @@ const eps = 1e-9
 // and unbounded models are reported through Solution.Status with a nil
 // error.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveTraced(p, nil, "")
+}
+
+// SolveTraced is Solve with telemetry: when tr is non-nil it emits one
+// "lp" event (problem size, simplex pivots across both phases, objective,
+// status) labeled with the caller-assigned purpose, and bumps the
+// lp.solves/lp.pivots counters. A nil tracer makes it identical to Solve.
+func SolveTraced(p *Problem, tr *obs.Tracer, label string) (*Solution, error) {
+	sol, pivots, err := solve(p)
+	if tr.Enabled() && sol != nil {
+		tr.LPEvent(obs.LPRecord{
+			Solver: "lp", Label: label,
+			Rows: len(p.rows), Cols: p.numVars,
+			Pivots: pivots, Obj: sol.Obj, Status: sol.Status.String(),
+		})
+		tr.Count("lp.solves", 1)
+		tr.Count("lp.pivots", float64(pivots))
+	}
+	return sol, err
+}
+
+// solve is the simplex implementation; it additionally reports the pivot
+// count for telemetry.
+func solve(p *Problem) (*Solution, int, error) {
 	m := len(p.rows)
 	n := p.numVars
 
@@ -260,14 +286,14 @@ func Solve(p *Problem) (*Solution, error) {
 		s.initCostRow(cost)
 		status, err := s.iterate(false)
 		if err != nil {
-			return nil, err
+			return nil, s.pivots, err
 		}
 		if status == Unbounded {
 			// Phase-1 objective is bounded below by 0; cannot happen.
-			return nil, errors.New("lp: internal: phase-1 unbounded")
+			return nil, s.pivots, errors.New("lp: internal: phase-1 unbounded")
 		}
 		if s.objValue() > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible}, s.pivots, nil
 		}
 		// Pivot basic artificials (at value 0) out of the basis when a
 		// non-artificial pivot exists; otherwise the row is redundant and
@@ -292,10 +318,10 @@ func Solve(p *Problem) (*Solution, error) {
 	s.initCostRow(cost)
 	status, err := s.iterate(true)
 	if err != nil {
-		return nil, err
+		return nil, s.pivots, err
 	}
 	if status == Unbounded {
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded}, s.pivots, nil
 	}
 
 	x := make([]float64, n)
@@ -308,7 +334,7 @@ func Solve(p *Problem) (*Solution, error) {
 	for j := 0; j < n; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+	return &Solution{Status: Optimal, X: x, Obj: obj}, s.pivots, nil
 }
 
 // simplex is the working state of a tableau solve.
@@ -319,6 +345,7 @@ type simplex struct {
 	nCols  int
 	basis  []int
 	banned []bool // columns that may not enter (artificials in phase 2)
+	pivots int    // pivots performed across both phases (telemetry)
 
 	costRow []float64 // reduced costs, length nCols+1 (last = -objective)
 }
@@ -403,6 +430,7 @@ func (s *simplex) iterate(banArtificials bool) (Status, error) {
 // pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis
 // and cost row.
 func (s *simplex) pivot(row, col int) {
+	s.pivots++
 	w := s.width
 	pr := s.tab[row*w : (row+1)*w]
 	pv := pr[col]

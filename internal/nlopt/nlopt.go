@@ -5,7 +5,11 @@
 // previous analytical work), and Adam (GNN training).
 package nlopt
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/obs"
+)
 
 // Objective evaluates f(x), writes ∇f(x) into grad (same length as x), and
 // returns f(x).
@@ -51,6 +55,10 @@ type NesterovOptions struct {
 	MaxStep  float64 // upper clamp on the predicted step (default 1e4)
 	GradTol  float64 // stop when ||∇f||₂ < GradTol (default 0: disabled)
 	Callback Callback
+	// Tracer, when non-nil, receives one obs iteration event per accepted
+	// iteration (solver "nesterov": objective, pre-step gradient norm,
+	// accepted step length).
+	Tracer *obs.Tracer
 }
 
 func (o *NesterovOptions) defaults() {
@@ -127,6 +135,11 @@ func Nesterov(obj Objective, x []float64, opt NesterovOptions) (float64, int) {
 		copy(u, uNew)
 		copy(v, vNew)
 		copy(g, gNew)
+		if opt.Tracer != nil {
+			opt.Tracer.IterEvent(obs.IterRecord{
+				Solver: "nesterov", Iter: iter, F: fNew, Grad: gn, Step: step,
+			})
+		}
 		// Adaptive restart (O'Donoghue–Candès): drop momentum when the
 		// objective rises, which tames oscillation on ill-conditioned
 		// landscapes without changing the well-behaved path.
@@ -153,6 +166,10 @@ type CGOptions struct {
 	GradTol  float64 // stop when ||∇f||₂ < GradTol (default 1e-6)
 	InitStep float64 // initial line-search step (default 1)
 	Callback Callback
+	// Tracer, when non-nil, receives one obs iteration event per accepted
+	// iteration (solver "cg": objective, pre-step gradient norm, accepted
+	// line-search step).
+	Tracer *obs.Tracer
 }
 
 func (o *CGOptions) defaults() {
@@ -185,7 +202,8 @@ func CG(obj Objective, x []float64, opt CGOptions) (float64, int) {
 	step := opt.InitStep
 	var iter int
 	for iter = 0; iter < opt.MaxIter; iter++ {
-		if Norm2(g) < opt.GradTol {
+		gn := Norm2(g)
+		if gn < opt.GradTol {
 			break
 		}
 		slope := Dot(g, d)
@@ -235,6 +253,11 @@ func CG(obj Objective, x []float64, opt CGOptions) (float64, int) {
 		f = fNew
 		// Mildly grow the step so successful steps don't shrink forever.
 		step = alpha * 2
+		if opt.Tracer != nil {
+			opt.Tracer.IterEvent(obs.IterRecord{
+				Solver: "cg", Iter: iter, F: fNew, Grad: gn, Step: alpha,
+			})
+		}
 		if opt.Callback != nil && !opt.Callback(iter, x, f) {
 			iter++
 			break

@@ -65,27 +65,6 @@ func TestNesterovLogSumExp(t *testing.T) {
 	}
 }
 
-func TestNesterovCallbackStops(t *testing.T) {
-	lambda := []float64{1, 400} // ill-conditioned so 5 iterations cannot converge
-	c := []float64{5, 5}
-	x := []float64{0, 0}
-	count := 0
-	_, iters := Nesterov(quadratic(lambda, c), x, NesterovOptions{
-		MaxIter:  1000,
-		InitStep: 1e-4, // small steps so it cannot converge before the stop
-		Callback: func(iter int, x []float64, f float64) bool {
-			count++
-			return count < 5
-		},
-	})
-	if count != 5 {
-		t.Errorf("callback ran %d times, want 5", count)
-	}
-	if iters != 5 {
-		t.Errorf("iters = %d, want 5 (callback stop)", iters)
-	}
-}
-
 func TestNesterovZeroGradientStops(t *testing.T) {
 	obj := func(x, grad []float64) float64 {
 		for i := range grad {
@@ -149,21 +128,6 @@ func TestCGMonotoneDecrease(t *testing.T) {
 			return true
 		},
 	})
-}
-
-func TestCGCallbackStops(t *testing.T) {
-	x := []float64{10, 10}
-	count := 0
-	CG(quadratic([]float64{1, 1}, []float64{0, 0}), x, CGOptions{
-		MaxIter: 100,
-		Callback: func(int, []float64, float64) bool {
-			count++
-			return false
-		},
-	})
-	if count != 1 {
-		t.Errorf("callback ran %d times, want 1", count)
-	}
 }
 
 func TestAdamConvergesOnQuadratic(t *testing.T) {

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// emitOneOfEach drives a tracer through every event kind.
+func emitOneOfEach(t *Tracer) {
+	sp := t.StartSpan("gp")
+	t.IterEvent(IterRecord{Solver: "nesterov", Iter: 0, F: 12.5, Grad: 3.25, Step: 0.125,
+		HPWL: 100.5, Overflow: 0.75, Lambda: 1e-4, Sym: 0.5,
+		GradWL: 1.5, GradDensity: 0.25, GradSym: 0.125, GradArea: 0.0625, GradExtra: 0.03125})
+	t.SAEvent(SARecord{Restart: 1, Move: 200, Temp: 0.5, AcceptRate: 0.25, Cur: 42.5, Best: 40})
+	t.LPEvent(LPRecord{Solver: "lp", Label: "compaction-x", Rows: 12, Cols: 8, Pivots: 17, Obj: 3.5, Status: "optimal"})
+	t.Count("gp.iterations", 64)
+	t.Gauge("gp.final_hpwl", 99.5)
+	sp.End()
+}
+
+// TestJSONLRoundTrip checks that every line the JSONL sink writes decodes
+// into an Event that re-encodes to the exact same bytes — the trace format
+// is a fixed point of encoding/json.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	emitOneOfEach(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// span_start, iter, sa, lp, gauge, span_end, summary.
+	if len(lines) != 7 {
+		t.Fatalf("got %d JSONL lines, want 7:\n%s", len(lines), buf.String())
+	}
+	kinds := []string{KindSpanStart, KindIter, KindSA, KindLP, KindGauge, KindSpanEnd, KindSummary}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		if e.Kind != kinds[i] {
+			t.Errorf("line %d kind = %q, want %q", i, e.Kind, kinds[i])
+		}
+		re, err := json.Marshal(&e)
+		if err != nil {
+			t.Fatalf("re-encoding line %d: %v", i, err)
+		}
+		if string(re) != line {
+			t.Errorf("line %d round-trip mismatch:\n wrote %s\n again %s", i, line, re)
+		}
+	}
+
+	// The typed payloads must survive the trip intact (all values above are
+	// dyadic rationals, so float equality is exact).
+	var it Event
+	if err := json.Unmarshal([]byte(lines[1]), &it); err != nil {
+		t.Fatal(err)
+	}
+	want := IterRecord{Solver: "nesterov", Iter: 0, F: 12.5, Grad: 3.25, Step: 0.125,
+		HPWL: 100.5, Overflow: 0.75, Lambda: 1e-4, Sym: 0.5,
+		GradWL: 1.5, GradDensity: 0.25, GradSym: 0.125, GradArea: 0.0625, GradExtra: 0.03125}
+	if it.Iter == nil || *it.Iter != want {
+		t.Errorf("iter payload = %+v, want %+v", it.Iter, &want)
+	}
+	if it.Span != "gp" {
+		t.Errorf("iter event span = %q, want %q", it.Span, "gp")
+	}
+}
+
+// TestSpanNesting checks span paths, duration monotonicity, and stack
+// unwinding for out-of-order ends.
+func TestSpanNesting(t *testing.T) {
+	sink := &MemorySink{}
+	tr := New(sink)
+
+	outer := tr.StartSpan("place")
+	inner := tr.StartSpan("gp")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	inner.End() // idempotent
+	second := tr.StartSpan("detailed")
+	time.Sleep(time.Millisecond)
+	outer.End() // out of order: must unwind "detailed" too
+	second.End()
+
+	starts := sink.ByKind(KindSpanStart)
+	wantPaths := []string{"place", "place/gp", "place/detailed"}
+	if len(starts) != len(wantPaths) {
+		t.Fatalf("got %d span starts, want %d", len(starts), len(wantPaths))
+	}
+	for i, e := range starts {
+		if e.Span != wantPaths[i] {
+			t.Errorf("span start %d path = %q, want %q", i, e.Span, wantPaths[i])
+		}
+	}
+
+	ends := map[string]Event{}
+	for _, e := range sink.ByKind(KindSpanEnd) {
+		ends[e.Span] = e
+	}
+	if len(ends) != 3 {
+		t.Fatalf("got %d span ends, want 3 (idempotent End must not re-emit)", len(ends))
+	}
+	if d := ends["place/gp"].DurMS; d < 1 {
+		t.Errorf("inner span duration %.3f ms, want >= 1 (it slept 2 ms)", d)
+	}
+	if ends["place"].DurMS < ends["place/gp"].DurMS {
+		t.Errorf("outer span (%.3f ms) shorter than nested inner (%.3f ms)",
+			ends["place"].DurMS, ends["place/gp"].DurMS)
+	}
+
+	// After the out-of-order unwind, new spans must start at the root.
+	fresh := tr.StartSpan("sa")
+	fresh.End()
+	all := sink.ByKind(KindSpanStart)
+	if got := all[len(all)-1].Span; got != "sa" {
+		t.Errorf("post-unwind span path = %q, want %q", got, "sa")
+	}
+
+	// Event timestamps never decrease.
+	prev := -1.0
+	for i, e := range sink.Events {
+		if e.TS < prev {
+			t.Fatalf("event %d timestamp %.9f decreased below %.9f", i, e.TS, prev)
+		}
+		prev = e.TS
+	}
+}
+
+// TestSummaryAggregates checks counters, gauges, and span statistics in the
+// final summary event.
+func TestSummaryAggregates(t *testing.T) {
+	sink := &MemorySink{}
+	tr := New(sink)
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("gp")
+		tr.Count("gp.iterations", 10)
+		sp.End()
+	}
+	tr.Gauge("gp.final_hpwl", 7)
+	tr.Gauge("gp.final_hpwl", 9) // gauges keep the last value
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sums := sink.ByKind(KindSummary)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summary events, want 1", len(sums))
+	}
+	sum := sums[0].Summary
+	if got := sum.Counters["gp.iterations"]; got != 30 {
+		t.Errorf("counter gp.iterations = %g, want 30", got)
+	}
+	if got := sum.Gauges["gp.final_hpwl"]; got != 9 {
+		t.Errorf("gauge gp.final_hpwl = %g, want 9", got)
+	}
+	st := sum.Spans["gp"]
+	if st.Count != 3 {
+		t.Errorf("span gp count = %d, want 3", st.Count)
+	}
+	if st.TotalMS < 0 {
+		t.Errorf("span gp total %.3f ms is negative", st.TotalMS)
+	}
+}
+
+// TestNilTracerSafe calls every instrumented-site entry point on a nil
+// tracer; any panic fails the test.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	sp := tr.StartSpan("gp")
+	sp.End()
+	(*Span)(nil).End()
+	tr.IterEvent(IterRecord{Solver: "nesterov"})
+	tr.SAEvent(SARecord{})
+	tr.LPEvent(LPRecord{})
+	tr.Count("x", 1)
+	tr.Gauge("x", 1)
+	if s := tr.Summary(); s.Events != 0 {
+		t.Errorf("nil tracer summary has %d events", s.Events)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close: %v", err)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestJSONLSinkStickyError checks a write failure surfaces from Close and
+// does not panic mid-run.
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(&failWriter{budget: 1})
+	tr := New(sink)
+	for i := 0; i < 100; i++ {
+		tr.IterEvent(IterRecord{Solver: "cg", Iter: i})
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close returned nil after write failures")
+	}
+}
+
+// TestProgressSinkCadence checks the -v sink prints every Nth iteration and
+// renders the summary.
+func TestProgressSinkCadence(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewProgressSink(&buf, 10))
+	sp := tr.StartSpan("gp")
+	for i := 0; i < 25; i++ {
+		tr.IterEvent(IterRecord{Solver: "nesterov", Iter: i, F: float64(100 - i)})
+	}
+	sp.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"iter 0 ", "iter 10 ", "iter 20 ", ">> gp", "<< gp", "run summary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	for _, banned := range []string{"iter 1 ", "iter 5 ", "iter 24 "} {
+		if strings.Contains(out, banned) {
+			t.Errorf("progress output contains off-cadence line %q:\n%s", banned, out)
+		}
+	}
+}

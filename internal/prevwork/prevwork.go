@@ -20,6 +20,7 @@ import (
 	"repro/internal/eplacea"
 	"repro/internal/geom"
 	"repro/internal/nlopt"
+	"repro/internal/obs"
 	"repro/internal/wl"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	// ExtraWeight scales the optional extra objective term (the Perf*
 	// extension) relative to the wirelength gradient (default 0.5).
 	ExtraWeight float64
+
+	// Tracer, when non-nil, wraps the run in a "gp" span, passes through
+	// to the CG solver's per-iteration events, and emits one "prev-epoch"
+	// record per density epoch (objective, exact HPWL, density weight β,
+	// symmetry penalty). Nil costs one pointer check.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -84,6 +91,8 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Resu
 		return nil, err
 	}
 	opt.defaults()
+	sp := opt.Tracer.StartSpan("gp")
+	defer sp.End()
 	nd := len(n.Devices)
 
 	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
@@ -191,12 +200,24 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Resu
 
 	totalIters := 0
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		_, it := nlopt.CG(objective, x, nlopt.CGOptions{
+		fEpoch, it := nlopt.CG(objective, x, nlopt.CGOptions{
 			MaxIter:  opt.ItersPerEpoch,
 			GradTol:  1e-7,
 			InitStep: binW,
+			Tracer:   opt.Tracer,
 		})
 		totalIters += it
+		if opt.Tracer.Enabled() {
+			copy(p.X, x[:nd])
+			copy(p.Y, x[nd:])
+			zero(sgx)
+			zero(sgy)
+			opt.Tracer.IterEvent(obs.IterRecord{
+				Solver: "prev-epoch", Iter: epoch, F: fEpoch,
+				HPWL: n.HPWL(p), Lambda: beta,
+				Sym: eplacea.SymPenalty(n, p, sgx, sgy),
+			})
+		}
 		beta *= 2
 		tau *= 1.5
 	}
@@ -208,12 +229,18 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Resu
 	}
 	n.Normalize(p)
 
-	return &Result{
+	res := &Result{
 		Placement:  p,
 		Iterations: totalIters,
 		HPWL:       n.HPWL(p),
 		Region:     region,
-	}, nil
+	}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("prev.runs", 1)
+		opt.Tracer.Count("prev.iterations", float64(totalIters))
+		opt.Tracer.Gauge("prev.final_hpwl", res.HPWL)
+	}
+	return res, nil
 }
 
 func clamp(n *circuit.Netlist, p *circuit.Placement, region geom.Rect) {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 )
 
 // Options configures the router.
@@ -26,6 +27,10 @@ type Options struct {
 	// CongestionWeight scales the extra cost of entering an occupied cell
 	// (default 0.5 per track already present).
 	CongestionWeight float64
+
+	// Tracer, when non-nil, wraps the run in a "routing" span and reports
+	// route.nets/route.total_length counters plus congestion gauges.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -59,6 +64,8 @@ func Route(n *circuit.Netlist, p *circuit.Placement, opt Options) (*Result, erro
 		return nil, err
 	}
 	opt.defaults()
+	sp := opt.Tracer.StartSpan("routing")
+	defer sp.End()
 	g := opt.GridCells
 
 	bb := n.BoundingBox(p)
@@ -160,6 +167,12 @@ func Route(n *circuit.Netlist, p *circuit.Placement, opt Options) (*Result, erro
 		if u > opt.Capacity {
 			res.OverflowCells++
 		}
+	}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("route.nets", float64(len(n.Nets)))
+		opt.Tracer.Count("route.total_length", res.TotalLength)
+		opt.Tracer.Gauge("route.max_usage", float64(res.MaxUsage))
+		opt.Tracer.Gauge("route.overflow_cells", float64(res.OverflowCells))
 	}
 	return res, nil
 }
