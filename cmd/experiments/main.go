@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	seed := flag.Int64("seed", 7, "base random seed for every experiment")
 	quick := flag.Bool("quick", false, "reduced budgets (smoke-test scale)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit), e.g. 30m")
 	tracePath := flag.String("trace", "", "write a JSONL telemetry trace of every solver run here")
 	verbose := flag.Bool("v", false, "periodic human-readable solver progress on stderr")
 	progEvery := flag.Int("progress-every", 500, "with -v, print every Nth solver iteration")
@@ -78,7 +80,13 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Tracer: tracer}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Tracer: tracer, Ctx: ctx}
 	sel := flag.Args()
 	if len(sel) == 0 {
 		sel = []string{"all"}

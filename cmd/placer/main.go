@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,8 +21,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 
-	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/netio"
 	"repro/internal/obs"
 	"repro/internal/testcircuits"
 )
@@ -39,6 +40,7 @@ func main() {
 		list    = flag.Bool("list", false, "list built-in benchmark circuits")
 		dumpNet = flag.Bool("dump-netlist", false, "write the selected circuit's netlist JSON and exit")
 		svgPath = flag.String("svg", "", "additionally render the placement to this SVG file")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit), e.g. 30s or 5m")
 
 		tracePath  = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver iterations, counters) here")
 		verbose    = flag.Bool("v", false, "periodic human-readable progress on stderr")
@@ -82,7 +84,14 @@ func main() {
 		tracer = obs.New(sinks...)
 	}
 
-	err := run(*inPath, *name, *method, *outPath, *svgPath, *seed, *perf, *dumpNet, tracer)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, *inPath, *name, *method, *outPath, *svgPath, *seed, *perf, *dumpNet, tracer)
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("closing trace: %w", cerr)
 	}
@@ -97,29 +106,13 @@ func main() {
 
 // run executes the placement flow; all fallible work lives here so main
 // can release the profiler and tracer on every exit path.
-func run(inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNet bool, tracer *obs.Tracer) error {
-	var n *circuit.Netlist
-	var cs *testcircuits.Case
-	switch {
-	case inPath != "":
-		f, err := os.Open(inPath)
-		if err != nil {
-			return err
-		}
-		n, err = circuit.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-	case name != "":
-		var err error
-		cs, err = testcircuits.ByName(name)
-		if err != nil {
-			return err
-		}
-		n = cs.Netlist
-	default:
+func run(ctx context.Context, inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNet bool, tracer *obs.Tracer) error {
+	if inPath == "" && name == "" {
 		return fmt.Errorf("need -in FILE or -circuit NAME (try -list)")
+	}
+	n, cs, err := netio.Load(inPath, name)
+	if err != nil {
+		return err
 	}
 
 	// writeOut routes output to -out or stdout, failing loudly on any
@@ -147,16 +140,9 @@ func run(inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNe
 		return writeOut(n.WriteJSON)
 	}
 
-	var m core.Method
-	switch method {
-	case "sa":
-		m = core.MethodSA
-	case "prev":
-		m = core.MethodPrev
-	case "eplace-a":
-		m = core.MethodEPlaceA
-	default:
-		return fmt.Errorf("unknown method %q (want sa, prev, or eplace-a)", method)
+	m, err := core.ParseMethod(method)
+	if err != nil {
+		return err
 	}
 
 	opt := core.Options{Seed: seed, Tracer: tracer}
@@ -165,7 +151,7 @@ func run(inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNe
 			return fmt.Errorf("-perf needs a built-in circuit (the GNN trains against its performance model)")
 		}
 		log.Print("training performance GNN...")
-		model, stats, err := core.TrainPerfGNN(n, cs.Perf, 0, core.TrainOptions{Seed: seed, Tracer: tracer})
+		model, stats, err := core.TrainPerfGNNCtx(ctx, n, cs.Perf, 0, core.TrainOptions{Seed: seed, Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -173,7 +159,7 @@ func run(inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNe
 		opt.Perf = &core.PerfTerm{Model: model}
 	}
 
-	res, err := core.Place(n, m, opt)
+	res, err := core.PlaceCtx(ctx, n, m, opt)
 	if err != nil {
 		return err
 	}

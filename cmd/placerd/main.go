@@ -1,0 +1,118 @@
+// Command placerd serves analog placement over HTTP: clients POST netlist
+// JSON to /v1/jobs, poll job status, stream per-iteration solver telemetry
+// as NDJSON, and fetch the finished placement (byte-identical to what
+// cmd/placer writes for the same netlist, method, and seed). Jobs run on a
+// bounded worker pool fed by a bounded FIFO queue, so the daemon sheds load
+// with 429s instead of collapsing under it. SIGINT/SIGTERM triggers a
+// graceful drain: new submissions are refused, running jobs finish (up to
+// -drain-timeout), and a second signal aborts the stragglers.
+//
+// Usage:
+//
+//	placerd [-addr :8080] [-workers N] [-queue N] [-job-timeout D]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("placerd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "solver worker pool size")
+	queueCap := flag.Int("queue", 64, "queued-job capacity; beyond it submissions get 429")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBody, "request body size limit in bytes")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when the request sets none (0 = no limit)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown waits for running jobs")
+	verbose := flag.Bool("v", false, "log every job submission and completion")
+	flag.Parse()
+
+	mgr := service.NewManager(service.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *jobTimeout,
+	})
+	srv := service.NewServer(mgr, *maxBody)
+
+	httpSrv := &http.Server{Handler: logMiddleware(srv.Handler(), *verbose)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving on %s (%d workers, queue capacity %d)", ln.Addr(), mgr.Metrics().Workers, *queueCap)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v; draining (running jobs finish, new submissions refused)", s)
+	}
+
+	// Drain in the background so a second signal can cut it short.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	drained := make(chan error, 1)
+	go func() { drained <- mgr.Drain(drainCtx) }()
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			log.Printf("drain: %v; aborting remaining jobs", err)
+			mgr.Abort()
+		}
+	case s := <-sig:
+		log.Printf("received second %v; aborting remaining jobs", s)
+		mgr.Abort()
+		<-drained
+	}
+
+	// The manager is quiet; now close HTTP so late pollers can still fetch
+	// results during the drain but the process exits promptly after it.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	met := mgr.Metrics()
+	log.Printf("shut down: %d jobs completed, %d failed, %d canceled, %d rejected",
+		met.JobsCompleted, met.JobsFailed, met.JobsCanceled, met.JobsRejected)
+}
+
+// logMiddleware optionally logs each request line after it is served.
+func logMiddleware(next http.Handler, verbose bool) http.Handler {
+	if !verbose {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL.Path, fmtDuration(time.Since(start)))
+	})
+}
+
+func fmtDuration(d time.Duration) string {
+	if d < time.Second {
+		return d.Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

@@ -9,6 +9,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -363,6 +364,23 @@ func mutate(s *state, rng *rand.Rand) {
 // Place runs multi-start simulated annealing and returns the best legal
 // placement found.
 func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) {
+	return PlaceCtx(context.Background(), n, opt)
+}
+
+// cancelCheckEvery is the move cadence at which the annealing loop polls the
+// context: frequent enough that cancellation lands within milliseconds,
+// sparse enough that the per-move cost stays one integer test.
+const cancelCheckEvery = 256
+
+// PlaceCtx is Place honoring cancellation and deadlines: the move loop polls
+// ctx every cancelCheckEvery proposals and returns ctx.Err() when it fires.
+// A canceled run returns no partial placement, so results remain
+// deterministic: a run either completes identically to an uncanceled one or
+// fails with the context's error.
+func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -378,10 +396,17 @@ func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) 
 	saSpan := opt.Tracer.StartSpan("sa")
 	defer saSpan.End()
 
+	done := ctx.Done()
+
 	var bestPlace *circuit.Placement
 	bestCost := math.Inf(1)
 
 	for restart := 0; restart < opt.Restarts; restart++ {
+		select {
+		case <-done:
+			return nil, nil, ctx.Err()
+		default:
+		}
 		restartSpan := opt.Tracer.StartSpan(fmt.Sprintf("restart-%d", restart))
 		cur := &state{sp: seqpair.Random(len(macros), rng), macros: macros}
 		cur = cur.clone() // own the macro state
@@ -402,6 +427,14 @@ func Place(n *circuit.Netlist, opt Options) (*circuit.Placement, *Stats, error) 
 		temp := t0
 		winProposals, winAccepts := 0, 0
 		for move := 0; move < opt.Moves; move++ {
+			if move%cancelCheckEvery == 0 {
+				select {
+				case <-done:
+					restartSpan.End()
+					return nil, nil, ctx.Err()
+				default:
+				}
+			}
 			trial := cur.clone()
 			mutate(trial, rng)
 			c := ev.cost(trial)

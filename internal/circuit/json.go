@@ -52,7 +52,7 @@ func typeFromString(s string) (DeviceType, error) {
 			return t, nil
 		}
 	}
-	return Other, fmt.Errorf("circuit: unknown device type %q", s)
+	return Other, fmt.Errorf("unknown device type %q", s)
 }
 
 // WriteJSON serializes the netlist to w.
@@ -116,14 +116,20 @@ func ReadJSON(r io.Reader) (*Netlist, error) {
 		return nil, fmt.Errorf("circuit: parsing netlist JSON: %w", err)
 	}
 	n := &Netlist{Name: in.Name}
+	if len(in.Devices) == 0 {
+		return nil, fmt.Errorf("circuit: netlist %q has no devices", in.Name)
+	}
 	devIdx := map[string]int{}
-	for _, jd := range in.Devices {
+	for di, jd := range in.Devices {
+		if jd.Name == "" {
+			return nil, fmt.Errorf("circuit: devices[%d] has no name", di)
+		}
 		if _, dup := devIdx[jd.Name]; dup {
 			return nil, fmt.Errorf("circuit: duplicate device name %q", jd.Name)
 		}
 		ty, err := typeFromString(jd.Type)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("circuit: device %q: %w", jd.Name, err)
 		}
 		d := Device{Name: jd.Name, Type: ty, W: jd.W, H: jd.H}
 		for _, jp := range jd.Pins {
@@ -140,9 +146,13 @@ func ReadJSON(r io.Reader) (*Netlist, error) {
 		return i, nil
 	}
 	lookupPin := func(ref string) (PinRef, error) {
+		lastDot := -1
 		for cut := len(ref) - 1; cut > 0; cut-- {
 			if ref[cut] != '.' {
 				continue
+			}
+			if lastDot < 0 {
+				lastDot = cut
 			}
 			di, ok := devIdx[ref[:cut]]
 			if !ok {
@@ -156,14 +166,26 @@ func ReadJSON(r io.Reader) (*Netlist, error) {
 			}
 			return PinRef{}, fmt.Errorf("circuit: device %q has no pin %q", ref[:cut], pinName)
 		}
-		return PinRef{}, fmt.Errorf("circuit: pin reference %q is not of the form device.pin", ref)
+		if lastDot < 0 {
+			return PinRef{}, fmt.Errorf("circuit: pin reference %q is not of the form device.pin", ref)
+		}
+		return PinRef{}, fmt.Errorf("circuit: pin reference %q names unknown device %q", ref, ref[:lastDot])
 	}
-	for _, jn := range in.Nets {
+	for ni, jn := range in.Nets {
+		// Net names are labels, not identifiers (pins resolve by index), so
+		// duplicates are allowed; an unnamed net is reported by position.
+		netLabel := jn.Name
+		if netLabel == "" {
+			netLabel = fmt.Sprintf("nets[%d]", ni)
+		}
+		if len(jn.Pins) == 0 {
+			return nil, fmt.Errorf("circuit: net %q has no pins", netLabel)
+		}
 		net := Net{Name: jn.Name, Weight: jn.Weight}
 		for _, ref := range jn.Pins {
 			pr, err := lookupPin(ref)
 			if err != nil {
-				return nil, fmt.Errorf("net %q: %w", jn.Name, err)
+				return nil, fmt.Errorf("net %q: %w", netLabel, err)
 			}
 			net.Pins = append(net.Pins, pr)
 		}

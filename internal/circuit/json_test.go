@@ -83,7 +83,13 @@ func TestReadJSONErrors(t *testing.T) {
 		{"bad pin ref", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
 			"nets":[{"name":"n","pins":["a.q"]}]}`, "no pin"},
 		{"bad net device", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
-			"nets":[{"name":"n","pins":["zz.p"]}]}`, "not of the form"},
+			"nets":[{"name":"n","pins":["zz.p"]}]}`, `unknown device "zz"`},
+		{"not dotted", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+			"nets":[{"name":"n","pins":["justaname"]}]}`, "not of the form"},
+		{"unnamed device", `{"name":"x","devices":[{"type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],"nets":[]}`, "devices[0] has no name"},
+		{"no devices", `{"name":"x","devices":[],"nets":[]}`, "no devices"},
+		{"empty net", `{"name":"x","devices":[{"name":"a","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+			"nets":[{"name":"floating","pins":[]}]}`, `net "floating" has no pins`},
 		{"invalid netlist", `{"name":"x","devices":[{"name":"a","type":"nmos","w":-1,"h":1,"pins":[]}],"nets":[]}`, "non-positive"},
 	}
 	for _, tc := range cases {

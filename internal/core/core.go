@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,6 +52,20 @@ func (m Method) String() string {
 	default:
 		return "eplace-a"
 	}
+}
+
+// ParseMethod maps the short method names used by the CLI flags and the
+// placement service ("sa", "prev", "eplace-a") to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "sa":
+		return MethodSA, nil
+	case "prev":
+		return MethodPrev, nil
+	case "eplace-a":
+		return MethodEPlaceA, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q (want sa, prev, or eplace-a)", s)
 }
 
 // PerfTerm attaches a trained GNN performance model, turning each method
@@ -118,6 +133,22 @@ type Result struct {
 // annealing) plus legalization/detailed placement, returning a legal
 // placement and its quality metrics.
 func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
+	return PlaceCtx(context.Background(), n, method, opt)
+}
+
+// PlaceCtx is Place honoring cancellation and deadlines: ctx is threaded
+// into every stage (the Nesterov/CG solvers stop through their callback
+// contract, the annealer polls between move batches, detailed placement
+// between LP/ILP passes). A canceled run returns ctx.Err() — never a
+// partial placement — so completed runs stay byte-identical to uncanceled
+// ones at the same seed.
+func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	placeSpan := opt.Tracer.StartSpan("place")
 	defer placeSpan.End()
@@ -145,7 +176,7 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 				saOpt.PerfWeight = 0.6
 			}
 		}
-		p, stats, err := anneal.Place(n, saOpt)
+		p, stats, err := anneal.PlaceCtx(ctx, n, saOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +194,7 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 		if gpOpt.Tracer == nil {
 			gpOpt.Tracer = opt.Tracer
 		}
-		gp, err := prevwork.PlaceExtra(n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
+		gp, err := prevwork.PlaceExtraCtx(ctx, n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +207,7 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 		if dpOpt.Tracer == nil {
 			dpOpt.Tracer = opt.Tracer
 		}
-		dp, err := detailed.Place(n, gp.Placement, dpOpt)
+		dp, err := detailed.PlaceCtx(ctx, n, gp.Placement, dpOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -260,11 +291,11 @@ func Place(n *circuit.Netlist, method Method, opt Options) (*Result, error) {
 				pt.Weight = perfWeights[v%len(perfWeights)]
 				perfTerm = &pt
 			}
-			gp, err := eplacea.PlaceExtra(n, gpOpt, perfExtra(perfTerm, &gpOpt.ExtraWeight))
+			gp, err := eplacea.PlaceExtraCtx(ctx, n, gpOpt, perfExtra(perfTerm, &gpOpt.ExtraWeight))
 			if err != nil {
 				return nil, err
 			}
-			dp, err := detailed.Place(n, gp.Placement, dpOpt)
+			dp, err := detailed.PlaceCtx(ctx, n, gp.Placement, dpOpt)
 			if err != nil {
 				return nil, err
 			}
@@ -379,7 +410,18 @@ type TrainOptions struct {
 // where performance-driven placement actually operates.
 func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
 	opt TrainOptions) (*gnn.Model, *gnn.TrainStats, error) {
+	return TrainPerfGNNCtx(context.Background(), n, pm, threshold, opt)
+}
 
+// TrainPerfGNNCtx is TrainPerfGNN honoring cancellation and deadlines: ctx
+// is threaded into the anchor placements and polled between dataset samples,
+// so a timed-out training run fails promptly with ctx.Err().
+func TrainPerfGNNCtx(ctx context.Context, n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
+	opt TrainOptions) (*gnn.Model, *gnn.TrainStats, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Samples == 0 {
 		opt.Samples = 1200
 	}
@@ -415,7 +457,7 @@ func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
 			})
 		}
 		for a := 0; a < opt.Anchors; a++ {
-			res, err := Place(n, MethodPrev, Options{
+			res, err := PlaceCtx(ctx, n, MethodPrev, Options{
 				Seed: opt.Seed + int64(1000+a),
 				Prev: &prevwork.Options{Seed: opt.Seed + int64(1000+a), Util: 0.35 + 0.07*float64(a%5)},
 			})
@@ -437,6 +479,11 @@ func TrainPerfGNN(n *circuit.Netlist, pm *perfmodel.Model, threshold float64,
 	}
 
 	for k := len(samples); k < opt.Samples; k++ {
+		if k%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		compact := k%2 == 0
 		if compact {
 			rowLayout(n, p, 1.0+rng.Float64()*0.8)

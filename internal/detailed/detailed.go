@@ -18,6 +18,7 @@
 package detailed
 
 import (
+	"context"
 	"math"
 	"strconv"
 
@@ -99,6 +100,17 @@ type Result struct {
 
 // Place legalizes and detail-places the global-placement solution gp.
 func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, error) {
+	return PlaceCtx(context.Background(), n, gp, opt)
+}
+
+// PlaceCtx is Place honoring cancellation and deadlines: the context is
+// polled between LP/ILP solves (the individual solves are short — dozens of
+// devices — so pass boundaries bound the cancellation latency), and a
+// canceled run returns ctx.Err() instead of a partial placement.
+func PlaceCtx(ctx context.Context, n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,6 +132,9 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 		if err := twoStageAxis(n, axisX, gs, opt.Tracer, out); err != nil {
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := twoStageAxis(n, axisY, gs, opt.Tracer, out); err != nil {
 			return nil, err
 		}
@@ -127,6 +142,9 @@ func Place(n *circuit.Netlist, gp *circuit.Placement, opt Options) (*Result, err
 		tilde := math.Sqrt(n.TotalDeviceArea() / opt.Zeta)
 		prevScore := math.Inf(1)
 		for iter := 0; iter < opt.Refinements; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			refineSpan := opt.Tracer.StartSpan(refineName(iter))
 			if iter == 0 || opt.NoFlips {
 				// Full ILP (branch and bound over flip binaries) on the

@@ -10,6 +10,7 @@
 package eplacea
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -131,6 +132,22 @@ func Place(n *circuit.Netlist, opt Options) (*Result, error) {
 // PlaceExtra runs global placement with an optional extra objective term
 // (the performance-driven hook of ePlace-AP).
 func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, error) {
+	return PlaceExtraCtx(context.Background(), n, opt, extra)
+}
+
+// PlaceCtx is Place honoring cancellation and deadlines via the Nesterov
+// callback-stop contract.
+func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*Result, error) {
+	return PlaceExtraCtx(ctx, n, opt, nil)
+}
+
+// PlaceExtraCtx is PlaceExtra honoring cancellation and deadlines: the
+// Nesterov progress callback polls ctx once per iteration and stops the
+// solve, and the run returns ctx.Err() instead of a partial placement.
+func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,11 +191,17 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, erro
 	copy(x[nd:], p.Y)
 
 	iterRun := 0
+	done := ctx.Done()
 	_, iters := nlopt.Nesterov(st.objective, x, nlopt.NesterovOptions{
 		MaxIter:  opt.MaxIter,
 		InitStep: binW, // about one bin per step to start
 		Tracer:   opt.Tracer,
 		Callback: func(iter int, cur []float64, f float64) bool {
+			select {
+			case <-done:
+				return false
+			default:
+			}
 			iterRun = iter + 1
 			if opt.Tracer.Enabled() {
 				copy(p.X, cur[:nd])
@@ -199,6 +222,9 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra ExtraGrad) (*Result, erro
 		},
 	})
 	_ = iters
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	copy(p.X, x[:nd])
 	copy(p.Y, x[nd:])
 	clampInto(n, p, region)

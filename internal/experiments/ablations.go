@@ -39,7 +39,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+		base, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 			Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 		})
 		if err != nil {
@@ -68,7 +68,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			}},
 		}
 		for _, v := range variants {
-			res, err := core.Place(c.Netlist, core.MethodEPlaceA, v.opt)
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, v.opt)
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s/%s: %w", v.tag, name, err)
 			}
@@ -76,7 +76,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			// The wa-vs-lse variant disables the portfolio so the smoother
 			// is isolated; compare it against a single-start baseline too.
 			if v.tag == "wa-vs-lse" {
-				b1, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+				b1, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 					Seed: cfg.Seed, Portfolio: 1,
 				})
 				if err != nil {
@@ -138,7 +138,7 @@ func RoutedValidation(cfg Config) ([]RoutedRow, error) {
 			if m == core.MethodSA {
 				opt.SA = cfg.saOptions(cfg.Seed)
 			}
-			res, err := core.Place(c.Netlist, m, opt)
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, m, opt)
 			if err != nil {
 				return nil, err
 			}

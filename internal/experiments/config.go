@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/anneal"
@@ -27,6 +28,17 @@ type Config struct {
 	// Tracer, when non-nil, is threaded into every placement, GNN training,
 	// and routing call the experiments make.
 	Tracer *obs.Tracer
+	// Ctx, when non-nil, bounds every placement and training run the
+	// experiments make (cmd/experiments -timeout); nil means no limit.
+	Ctx context.Context
+}
+
+// ctx returns the run-bounding context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // saOptions returns the simulated-annealing budget for the run mode: the
@@ -113,7 +125,7 @@ func TrainAll(cfg Config) (*Models, error) {
 	}
 	start := time.Now()
 	for _, c := range out.Cases {
-		model, stats, err := core.TrainPerfGNN(c.Netlist, c.Perf, 0 /* auto */, cfg.trainOptions(cfg.Seed+11))
+		model, stats, err := core.TrainPerfGNNCtx(cfg.ctx(), c.Netlist, c.Perf, 0 /* auto */, cfg.trainOptions(cfg.Seed+11))
 		if err != nil {
 			return nil, err
 		}

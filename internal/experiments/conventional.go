@@ -30,7 +30,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		}
 		row := Table1Row{Design: name}
 		for _, hard := range []bool{false, true} {
-			res, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 				Seed:      cfg.Seed,
 				Portfolio: 1,
 				GP:        &eplacea.Options{Seed: cfg.Seed, HardSym: hard},
@@ -82,7 +82,7 @@ func Fig2(cfg Config) ([]Fig2Row, error) {
 		}
 		row := Fig2Row{Design: name}
 		for _, noArea := range []bool{false, true} {
-			res, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 				Seed:      cfg.Seed,
 				Portfolio: 1,
 				GP:        &eplacea.Options{Seed: cfg.Seed, NoArea: noArea},
@@ -134,7 +134,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			if m == core.MethodSA {
 				opt.SA = cfg.saOptions(cfg.Seed)
 			}
-			res, err := core.Place(c.Netlist, m, opt)
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, m, opt)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/%v: %w", c.Netlist.Name, m, err)
 			}
@@ -268,7 +268,7 @@ func Fig5(cfg Config) ([]SweepPoint, error) {
 		saWeights = []float64{0.3, 0.7}
 	}
 	for _, w := range saWeights {
-		res, err := core.Place(c.Netlist, core.MethodSA, core.Options{Tracer: cfg.Tracer,
+		res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodSA, core.Options{Tracer: cfg.Tracer,
 			Seed: cfg.Seed, AreaWeight: w, SA: cfg.saOptions(cfg.Seed),
 		})
 		if err != nil {
@@ -282,7 +282,7 @@ func Fig5(cfg Config) ([]SweepPoint, error) {
 		prevUtils = []float64{0.5, 0.8}
 	}
 	for _, u := range prevUtils {
-		res, err := core.Place(c.Netlist, core.MethodPrev, core.Options{Tracer: cfg.Tracer,
+		res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodPrev, core.Options{Tracer: cfg.Tracer,
 			Seed: cfg.Seed, Prev: &prevwork.Options{Seed: cfg.Seed, Util: u},
 		})
 		if err != nil {
@@ -296,7 +296,7 @@ func Fig5(cfg Config) ([]SweepPoint, error) {
 		areaWeights = []float64{0.2, 0.8}
 	}
 	for _, w := range areaWeights {
-		res, err := core.Place(c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+		res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 			Seed: cfg.Seed, AreaWeight: w, Portfolio: cfg.portfolio(),
 		})
 		if err != nil {

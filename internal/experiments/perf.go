@@ -27,7 +27,7 @@ func perfRun(cfg Config, c *testcircuits.Case, models *Models,
 	if m == core.MethodSA {
 		opt.SA = cfg.saOptions(cfg.Seed)
 	}
-	conv, err := core.Place(n, m, opt)
+	conv, err := core.PlaceCtx(cfg.ctx(), n, m, opt)
 	if err != nil {
 		return 0, 0, MethodMetrics{}, err
 	}
@@ -41,7 +41,7 @@ func perfRun(cfg Config, c *testcircuits.Case, models *Models,
 	if m == core.MethodSA {
 		popt.SA = cfg.perfSAOptions(cfg.Seed, len(n.Devices))
 	}
-	perf, err := core.Place(n, m, popt)
+	perf, err := core.PlaceCtx(cfg.ctx(), n, m, popt)
 	if err != nil {
 		return 0, 0, MethodMetrics{}, err
 	}
@@ -133,11 +133,11 @@ func Table6(cfg Config, models *Models) (*Table6Result, error) {
 		return nil, fmt.Errorf("table6: CC-OTA model missing")
 	}
 	n := c.Netlist
-	conv, err := core.Place(n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer, Seed: cfg.Seed, Portfolio: cfg.portfolio()})
+	conv, err := core.PlaceCtx(cfg.ctx(), n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer, Seed: cfg.Seed, Portfolio: cfg.portfolio()})
 	if err != nil {
 		return nil, err
 	}
-	perf, err := core.Place(n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
+	perf, err := core.PlaceCtx(cfg.ctx(), n, core.MethodEPlaceA, core.Options{Tracer: cfg.Tracer,
 		Seed: cfg.Seed, Portfolio: cfg.portfolio(),
 		Perf: &core.PerfTerm{Model: models.ByName[n.Name]},
 	})
@@ -243,7 +243,7 @@ func Fig6(cfg Config, models *Models) ([]SweepPoint, error) {
 			if m == core.MethodSA {
 				opt.SA = cfg.perfSAOptions(cfg.Seed, len(n.Devices))
 			}
-			res, err := core.Place(n, m, opt)
+			res, err := core.PlaceCtx(cfg.ctx(), n, m, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,70 @@
+// Package netio is the shared netlist-loading layer for the command-line
+// tools and the placement service: it resolves a netlist from a JSON file,
+// an in-memory JSON document, or a built-in benchmark circuit, and front-
+// loads validation so malformed inputs fail with actionable, field-named
+// errors before any solver runs.
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/testcircuits"
+)
+
+// Decode parses and validates a netlist JSON document from r. It is
+// circuit.ReadJSON plus source labeling: errors are prefixed with label
+// (a file name, "request body", ...) when label is non-empty.
+func Decode(r io.Reader, label string) (*circuit.Netlist, error) {
+	n, err := circuit.ReadJSON(r)
+	if err != nil {
+		if label != "" {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		return nil, err
+	}
+	return n, nil
+}
+
+// DecodeBytes parses and validates a netlist JSON document held in memory
+// (the placement service's request path).
+func DecodeBytes(b []byte, label string) (*circuit.Netlist, error) {
+	return Decode(bytes.NewReader(b), label)
+}
+
+// LoadFile reads and validates a netlist JSON file.
+func LoadFile(path string) (*circuit.Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f, path)
+}
+
+// Load resolves the netlist-source choice shared by cmd/placer and the
+// placement service: a JSON file path, or a built-in benchmark name.
+// Exactly one of inPath and builtin must be non-empty. The returned Case is
+// non-nil only for built-in circuits (it carries the performance model).
+func Load(inPath, builtin string) (*circuit.Netlist, *testcircuits.Case, error) {
+	switch {
+	case inPath != "" && builtin != "":
+		return nil, nil, fmt.Errorf("netio: choose a netlist file or a built-in circuit, not both")
+	case inPath != "":
+		n, err := LoadFile(inPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, nil, nil
+	case builtin != "":
+		cs, err := testcircuits.ByName(builtin)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cs.Netlist, cs, nil
+	}
+	return nil, nil, fmt.Errorf("netio: no netlist source given")
+}

@@ -1,0 +1,119 @@
+package netio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testcircuits"
+)
+
+func TestLoadSourceSelection(t *testing.T) {
+	if _, _, err := Load("", ""); err == nil || !strings.Contains(err.Error(), "no netlist source") {
+		t.Errorf("neither source: %v", err)
+	}
+	if _, _, err := Load("f.json", "Adder"); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Errorf("both sources: %v", err)
+	}
+	n, cs, err := Load("", "Adder")
+	if err != nil {
+		t.Fatalf("built-in: %v", err)
+	}
+	if n == nil || cs == nil || cs.Netlist != n {
+		t.Error("built-in load did not return the case's netlist")
+	}
+	if _, _, err := Load("", "NoSuchCircuit"); err == nil {
+		t.Error("unknown built-in accepted")
+	}
+}
+
+func TestLoadFileRoundtrip(t *testing.T) {
+	c, err := testcircuits.ByName("Adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "adder.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Netlist.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	n, cs, err := Load(path, "")
+	if err != nil {
+		t.Fatalf("file load: %v", err)
+	}
+	if cs != nil {
+		t.Error("file load returned a built-in case")
+	}
+	if n.Name != c.Netlist.Name || len(n.Devices) != len(c.Netlist.Devices) {
+		t.Errorf("roundtrip mismatch: %s/%d devices", n.Name, len(n.Devices))
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestDecodeErrorsCarryLabelAndField checks malformed documents fail with
+// the source label plus an actionable, field-naming message.
+func TestDecodeErrorsCarryLabelAndField(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want []string // all must appear in the error
+	}{
+		{
+			"duplicate device names",
+			`{"name":"x","devices":[
+				{"name":"M1","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]},
+				{"name":"M1","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],"nets":[]}`,
+			[]string{"req", `duplicate device name "M1"`},
+		},
+		{
+			"pin references unknown device",
+			`{"name":"x","devices":[{"name":"M1","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+				"nets":[{"name":"out","pins":["M9.p"]}]}`,
+			[]string{"req", `net "out"`, `unknown device "M9"`},
+		},
+		{
+			"empty net",
+			`{"name":"x","devices":[{"name":"M1","type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],
+				"nets":[{"name":"dangling","pins":[]}]}`,
+			[]string{"req", `net "dangling" has no pins`},
+		},
+		{
+			"unnamed device by index",
+			`{"name":"x","devices":[{"type":"nmos","w":1,"h":1,"pins":[{"name":"p","x":0,"y":0}]}],"nets":[]}`,
+			[]string{"req", "devices[0] has no name"},
+		},
+	}
+	for _, tc := range cases {
+		_, err := DecodeBytes([]byte(tc.json), "req")
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, want)
+			}
+		}
+	}
+}
+
+func TestDecodeNoLabel(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{`), "")
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "circuit:") {
+		t.Errorf("unlabeled error %q should start with the package prefix", err)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "sync"
+
+// StreamSink is the channel-backed sink behind live event streaming (the
+// placement service's /v1/jobs/{id}/events endpoint): it records every
+// event and lets any number of concurrent readers tail the stream with a
+// cursor. A reader that subscribes late replays the full history first, so
+// no event is ever dropped, and readers block on a wake channel — never on
+// the emitting solver — so a slow or stalled consumer cannot hold up a
+// placement run.
+type StreamSink struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{} // closed and replaced on every append / Close
+}
+
+// NewStreamSink returns an empty, open stream sink.
+func NewStreamSink() *StreamSink {
+	return &StreamSink{wake: make(chan struct{})}
+}
+
+// Emit appends e and wakes all blocked readers. Events never mutate after
+// emission, so readers may consume returned slices without copying.
+func (s *StreamSink) Emit(e Event) {
+	s.mu.Lock()
+	if !s.closed {
+		s.events = append(s.events, e)
+		close(s.wake)
+		s.wake = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// Close marks the stream complete and wakes all blocked readers; readers
+// see closed=true once they have drained the history. Close is idempotent.
+func (s *StreamSink) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.wake)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// After returns the events past cursor (the count of events the reader has
+// already consumed), whether the stream is complete, and a channel that is
+// closed on the next append or Close. The reader loop is:
+//
+//	cur := 0
+//	for {
+//		batch, done, wake := sink.After(cur)
+//		... write batch ...
+//		cur += len(batch)
+//		if len(batch) == 0 {
+//			if done {
+//				return
+//			}
+//			select {
+//			case <-wake:
+//			case <-ctx.Done():
+//				return
+//			}
+//		}
+//	}
+func (s *StreamSink) After(cursor int) (batch []Event, done bool, wake <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.events) {
+		cursor = len(s.events)
+	}
+	return s.events[cursor:len(s.events):len(s.events)], s.closed, s.wake
+}
+
+// Len returns the number of events emitted so far.
+func (s *StreamSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

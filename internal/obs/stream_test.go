@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStreamSinkReplayAndTail(t *testing.T) {
+	s := NewStreamSink()
+	s.Emit(Event{Kind: KindGauge, Name: "a"})
+	s.Emit(Event{Kind: KindGauge, Name: "b"})
+
+	// A late subscriber replays history from cursor 0.
+	batch, done, _ := s.After(0)
+	if len(batch) != 2 || done {
+		t.Fatalf("After(0): %d events done=%v, want 2 false", len(batch), done)
+	}
+	if batch[0].Name != "a" || batch[1].Name != "b" {
+		t.Errorf("history out of order: %+v", batch)
+	}
+
+	// The cursor advances past consumed events.
+	batch, _, wake := s.After(2)
+	if len(batch) != 0 {
+		t.Fatalf("After(2): %d events, want 0", len(batch))
+	}
+
+	// A new emission closes the wake channel and is visible at the cursor.
+	s.Emit(Event{Kind: KindGauge, Name: "c"})
+	select {
+	case <-wake:
+	case <-time.After(time.Second):
+		t.Fatal("wake channel not closed on Emit")
+	}
+	batch, _, _ = s.After(2)
+	if len(batch) != 1 || batch[0].Name != "c" {
+		t.Errorf("After(2) post-emit: %+v", batch)
+	}
+}
+
+func TestStreamSinkClose(t *testing.T) {
+	s := NewStreamSink()
+	s.Emit(Event{Kind: KindGauge, Name: "a"})
+	_, _, wake := s.After(1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wake:
+	case <-time.After(time.Second):
+		t.Fatal("wake channel not closed on Close")
+	}
+	if _, done, _ := s.After(1); !done {
+		t.Error("After does not report done after Close")
+	}
+	// Close is idempotent and post-close emissions are dropped.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Emit(Event{Kind: KindGauge, Name: "late"})
+	if s.Len() != 1 {
+		t.Errorf("post-close Emit changed length to %d", s.Len())
+	}
+}
+
+func TestStreamSinkCursorClamping(t *testing.T) {
+	s := NewStreamSink()
+	s.Emit(Event{Kind: KindGauge})
+	if batch, _, _ := s.After(-5); len(batch) != 1 {
+		t.Errorf("negative cursor: %d events, want 1", len(batch))
+	}
+	if batch, _, _ := s.After(99); len(batch) != 0 {
+		t.Errorf("past-end cursor: %d events, want 0", len(batch))
+	}
+}
+
+// TestStreamSinkConcurrentReaders runs the documented reader loop from
+// several goroutines against a live emitter and checks every reader sees
+// the complete, ordered stream.
+func TestStreamSinkConcurrentReaders(t *testing.T) {
+	const events = 500
+	const readers = 4
+	s := NewStreamSink()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make([][]Event, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cur := 0
+			for {
+				batch, done, wake := s.After(cur)
+				results[r] = append(results[r], batch...)
+				cur += len(batch)
+				if len(batch) == 0 {
+					if done {
+						return
+					}
+					select {
+					case <-wake:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < events; i++ {
+		s.Emit(Event{Kind: KindIter, Iter: &IterRecord{Iter: i}})
+	}
+	s.Close()
+	wg.Wait()
+
+	for r := 0; r < readers; r++ {
+		if len(results[r]) != events {
+			t.Fatalf("reader %d saw %d events, want %d", r, len(results[r]), events)
+		}
+		for i, e := range results[r] {
+			if e.Iter.Iter != i {
+				t.Fatalf("reader %d: event %d has iter %d (out of order)", r, i, e.Iter.Iter)
+			}
+		}
+	}
+}
+
+// TestTracerWithStreamSink checks the sink composes with the Tracer the way
+// the placement service wires it: Close flushes a final summary event.
+func TestTracerWithStreamSink(t *testing.T) {
+	s := NewStreamSink()
+	trc := New(s)
+	sp := trc.StartSpan("stage")
+	trc.Count("ops", 2)
+	sp.End()
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	batch, done, _ := s.After(0)
+	if !done {
+		t.Error("sink not closed by tracer Close")
+	}
+	last := batch[len(batch)-1]
+	if last.Kind != KindSummary || last.Summary == nil {
+		t.Errorf("last event %+v, want a summary", last)
+	}
+	if last.Summary.Counters["ops"] != 2 {
+		t.Errorf("summary counters %+v", last.Summary.Counters)
+	}
+}

@@ -12,6 +12,7 @@
 package prevwork
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -87,6 +88,22 @@ func Place(n *circuit.Netlist, opt Options) (*Result, error) {
 // PlaceExtra runs global placement with an additional objective term (the
 // Perf* extension).
 func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Result, error) {
+	return PlaceExtraCtx(context.Background(), n, opt, extra)
+}
+
+// PlaceCtx is Place honoring cancellation and deadlines via the CG
+// callback-stop contract.
+func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*Result, error) {
+	return PlaceExtraCtx(ctx, n, opt, nil)
+}
+
+// PlaceExtraCtx is PlaceExtra honoring cancellation and deadlines: the CG
+// progress callback polls ctx once per iteration and stops the solve, and a
+// canceled run returns ctx.Err() instead of a partial placement.
+func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,13 +216,25 @@ func PlaceExtra(n *circuit.Netlist, opt Options, extra eplacea.ExtraGrad) (*Resu
 	copy(x[nd:], p.Y)
 
 	totalIters := 0
+	done := ctx.Done()
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
 		fEpoch, it := nlopt.CG(objective, x, nlopt.CGOptions{
 			MaxIter:  opt.ItersPerEpoch,
 			GradTol:  1e-7,
 			InitStep: binW,
 			Tracer:   opt.Tracer,
+			Callback: func(iter int, cur []float64, f float64) bool {
+				select {
+				case <-done:
+					return false
+				default:
+					return true
+				}
+			},
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		totalIters += it
 		if opt.Tracer.Enabled() {
 			copy(p.X, x[:nd])

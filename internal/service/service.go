@@ -1,0 +1,582 @@
+// Package service implements placement-as-a-service: a job manager with a
+// bounded FIFO queue and a configurable worker pool, wrapped by the
+// HTTP/JSON API that cmd/placerd serves.
+//
+// A job moves queued → running → done/failed/canceled. Each job owns an
+// obs.Tracer backed by an obs.StreamSink, so per-iteration solver telemetry
+// can be tailed live over /v1/jobs/{id}/events while the job runs.
+// Cancellation and per-job deadlines propagate into the solvers through
+// core.PlaceCtx; a canceled job never reports a partial placement, so a
+// completed service placement is byte-identical to the cmd/placer output
+// for the same netlist, method, and seed.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netio"
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is returned when the bounded job queue is at capacity
+	// (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining is returned once shutdown has begun (HTTP 503).
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one of Netlist
+// (a full netlist JSON document) and Circuit (a built-in benchmark name)
+// selects the input.
+type SubmitRequest struct {
+	Netlist json.RawMessage `json:"netlist,omitempty"`
+	Circuit string          `json:"circuit,omitempty"`
+	Method  string          `json:"method,omitempty"` // sa | prev | eplace-a (default)
+	Seed    int64           `json:"seed,omitempty"`
+
+	// TimeoutSec bounds the run; 0 falls back to the manager's default.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Optional knobs mirroring core.Options.
+	AreaWeight float64 `json:"area_weight,omitempty"`
+	Mu         float64 `json:"mu,omitempty"`
+	Portfolio  int     `json:"portfolio,omitempty"`
+}
+
+// JobSpec is a validated submission: the resolved netlist and method plus
+// the raw request. It is what a Runner executes.
+type JobSpec struct {
+	Netlist *circuit.Netlist
+	Method  core.Method
+	Req     SubmitRequest
+}
+
+// JobResult is the payload of a completed job. Placement holds the exact
+// bytes circuit.WritePlacementJSON produces, so clients (and the CI smoke
+// test) can diff it against cmd/placer output.
+type JobResult struct {
+	AreaUM2      float64         `json:"area_um2"`
+	HPWLUM       float64         `json:"hpwl_um"`
+	RuntimeSec   float64         `json:"runtime_sec"`
+	Legal        bool            `json:"legal"`
+	GPIterations int             `json:"gp_iterations,omitempty"`
+	ILPNodes     int             `json:"ilp_nodes,omitempty"`
+	SAProposals  int             `json:"sa_proposals,omitempty"`
+	Placement    json.RawMessage `json:"placement"`
+}
+
+// Runner executes one validated job. The default is DefaultRunner; tests
+// inject blocking or failing runners to exercise queue mechanics.
+type Runner func(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*JobResult, error)
+
+// DefaultRunner places spec's netlist with core.PlaceCtx and renders the
+// placement JSON. It uses exactly the options cmd/placer derives from its
+// flags, keeping service results byte-identical to CLI results at the same
+// seed.
+func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*JobResult, error) {
+	opt := core.Options{
+		Seed:       spec.Req.Seed,
+		AreaWeight: spec.Req.AreaWeight,
+		Mu:         spec.Req.Mu,
+		Portfolio:  spec.Req.Portfolio,
+		Tracer:     tracer,
+	}
+	res, err := core.PlaceCtx(ctx, spec.Netlist, spec.Method, opt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := spec.Netlist.WritePlacementJSON(&buf, res.Placement); err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		AreaUM2:      res.AreaUM2,
+		HPWLUM:       res.HPWLUM,
+		RuntimeSec:   res.Runtime.Seconds(),
+		Legal:        res.Legal,
+		GPIterations: res.GPIterations,
+		ILPNodes:     res.ILPNodes,
+		SAProposals:  res.SAProposals,
+		Placement:    buf.Bytes(),
+	}, nil
+}
+
+// Job is one placement submission and its lifecycle state.
+type Job struct {
+	id   string
+	spec JobSpec
+	sink *obs.StreamSink
+	trc  *obs.Tracer
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	canceled  bool               // cancel requested (possibly before running)
+	cancelRun context.CancelFunc // set while running
+	done      chan struct{}      // closed on reaching a terminal state
+}
+
+// ID returns the job's unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the validated submission.
+func (j *Job) Spec() *JobSpec { return &j.spec }
+
+// Sink exposes the job's event stream for tailing.
+func (j *Job) Sink() *obs.StreamSink { return j.sink }
+
+// Done is closed once the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status is a point-in-time snapshot of a job, shaped for JSON.
+type Status struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Method      string     `json:"method"`
+	Circuit     string     `json:"circuit"`
+	Seed        int64      `json:"seed"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Events      int        `json:"events"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Method:      j.spec.Req.Method,
+		Circuit:     j.spec.Netlist.Name,
+		Seed:        j.spec.Req.Seed,
+		SubmittedAt: j.submitted,
+		Events:      j.sink.Len(),
+		Error:       j.err,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueCap bounds the FIFO queue of not-yet-running jobs (default 64).
+	QueueCap int
+	// DefaultTimeout caps jobs whose request sets no timeout_sec (0 = no
+	// limit).
+	DefaultTimeout time.Duration
+	// Runner executes jobs (default DefaultRunner).
+	Runner Runner
+}
+
+// Manager owns the job table, the bounded queue, and the worker pool.
+type Manager struct {
+	cfg     Config
+	queue   chan *Job
+	wg      sync.WaitGroup
+	started time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+	running  int
+
+	// Cumulative service counters.
+	submitted, rejected, completed, failed, canceledN int64
+
+	// Solver telemetry rolled up from finished jobs' tracers.
+	aggCounters map[string]float64
+	aggGauges   map[string]float64
+	aggSpans    map[string]obs.SpanStat
+}
+
+// NewManager starts the worker pool and returns the manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = DefaultRunner
+	}
+	m := &Manager{
+		cfg:         cfg,
+		queue:       make(chan *Job, cfg.QueueCap),
+		started:     time.Now(),
+		jobs:        map[string]*Job{},
+		aggCounters: map[string]float64{},
+		aggGauges:   map[string]float64{},
+		aggSpans:    map[string]obs.SpanStat{},
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Validate resolves and checks a submission, returning the runnable spec.
+func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
+	if req.Method == "" {
+		req.Method = "eplace-a"
+	}
+	method, err := core.ParseMethod(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	if req.TimeoutSec < 0 {
+		return nil, fmt.Errorf("service: negative timeout_sec %g", req.TimeoutSec)
+	}
+	var n *circuit.Netlist
+	switch {
+	case len(req.Netlist) > 0 && req.Circuit != "":
+		return nil, errors.New("service: request sets both netlist and circuit; choose one")
+	case len(req.Netlist) > 0:
+		n, err = netio.DecodeBytes(req.Netlist, "netlist")
+		if err != nil {
+			return nil, err
+		}
+	case req.Circuit != "":
+		n, _, err = netio.Load("", req.Circuit)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errors.New("service: request needs a netlist document or a built-in circuit name")
+	}
+	return &JobSpec{Netlist: n, Method: method, Req: req}, nil
+}
+
+// Submit validates req and enqueues a job, returning ErrQueueFull when the
+// bounded queue is at capacity and ErrDraining after shutdown has begun.
+// Validation failures surface before a job is created, so malformed
+// requests never occupy queue slots.
+func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
+	spec, err := m.validate(req)
+	if err != nil {
+		m.mu.Lock()
+		m.rejected++
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejected++
+		return nil, ErrDraining
+	}
+	m.seq++
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", m.seq),
+		spec:      *spec,
+		sink:      obs.NewStreamSink(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	job.trc = obs.New(job.sink)
+	select {
+	case m.queue <- job:
+	default:
+		m.seq-- // slot not taken; reuse the ID
+		m.rejected++
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.submitted++
+	return job, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is finalized immediately, a
+// running job has its context canceled (the solvers stop at their next
+// callback poll), and a terminal job is left untouched (no error — cancel
+// is idempotent).
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	j.mu.Lock()
+	j.canceled = true
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.err = context.Canceled.Error()
+		close(j.done)
+		j.mu.Unlock()
+		j.trc.Close() // end event streams
+		m.finalize(j, StateCanceled)
+	case StateRunning:
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// worker pops jobs until the queue closes on drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob executes one job end to end, including state transitions and
+// telemetry rollup.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timeout := m.cfg.DefaultTimeout
+	if job.spec.Req.TimeoutSec > 0 {
+		timeout = time.Duration(job.spec.Req.TimeoutSec * float64(time.Second))
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancelRun = cancel
+	canceledEarly := job.canceled
+	job.mu.Unlock()
+	if canceledEarly {
+		cancel() // Cancel raced between queue pop and cancelRun being set
+	}
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+
+	res, err := m.cfg.Runner(ctx, &job.spec, job.trc)
+	cancel()
+	job.trc.Close() // flush the summary event and end event streams
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.cancelRun = nil
+	var final State
+	switch {
+	case err == nil:
+		final = StateDone
+		job.result = res
+	case job.canceled || errors.Is(err, context.Canceled):
+		final = StateCanceled
+		job.err = err.Error()
+	default: // includes context.DeadlineExceeded
+		final = StateFailed
+		job.err = err.Error()
+	}
+	job.state = final
+	close(job.done)
+	job.mu.Unlock()
+	m.finalize(job, final)
+}
+
+// finalize updates service counters and rolls the job's solver telemetry
+// into the aggregate /metrics view.
+func (m *Manager) finalize(job *Job, final State) {
+	sum := job.trc.Summary()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if final != StateCanceled || !job.started.IsZero() {
+		m.running--
+		if m.running < 0 {
+			m.running = 0 // canceled-while-queued jobs never incremented
+		}
+	}
+	switch final {
+	case StateDone:
+		m.completed++
+	case StateFailed:
+		m.failed++
+	case StateCanceled:
+		m.canceledN++
+	}
+	for k, v := range sum.Counters {
+		m.aggCounters[k] += v
+	}
+	for k, v := range sum.Gauges {
+		m.aggGauges[k] = v
+	}
+	for k, v := range sum.Spans {
+		st := m.aggSpans[k]
+		st.Count += v.Count
+		st.TotalMS += v.TotalMS
+		m.aggSpans[k] = st
+	}
+}
+
+// Drain stops intake and waits until every accepted job (queued and
+// running) has finished, or ctx expires. It is the SIGTERM path: accepted
+// work completes, new work is rejected with ErrDraining.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Abort cancels every non-terminal job (used when a drain deadline passes
+// or on a second termination signal).
+func (m *Manager) Abort() {
+	for _, j := range m.Jobs() {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			m.Cancel(j.id)
+		}
+	}
+}
+
+// Metrics is the /metrics payload: service counters plus the solver
+// telemetry (obs counters/gauges/span timings) rolled up across finished
+// jobs.
+type Metrics struct {
+	UptimeSec  float64 `json:"uptime_sec"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	Running    int     `json:"running"`
+	Draining   bool    `json:"draining"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+
+	SolverCounters map[string]float64      `json:"solver_counters,omitempty"`
+	SolverGauges   map[string]float64      `json:"solver_gauges,omitempty"`
+	SolverSpans    map[string]obs.SpanStat `json:"solver_spans,omitempty"`
+}
+
+// Metrics snapshots the manager.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		UptimeSec:      time.Since(m.started).Seconds(),
+		Workers:        m.cfg.Workers,
+		QueueDepth:     len(m.queue),
+		QueueCap:       m.cfg.QueueCap,
+		Running:        m.running,
+		Draining:       m.draining,
+		JobsSubmitted:  m.submitted,
+		JobsRejected:   m.rejected,
+		JobsCompleted:  m.completed,
+		JobsFailed:     m.failed,
+		JobsCanceled:   m.canceledN,
+		SolverCounters: map[string]float64{},
+		SolverGauges:   map[string]float64{},
+		SolverSpans:    map[string]obs.SpanStat{},
+	}
+	for k, v := range m.aggCounters {
+		out.SolverCounters[k] = v
+	}
+	for k, v := range m.aggGauges {
+		out.SolverGauges[k] = v
+	}
+	for k, v := range m.aggSpans {
+		out.SolverSpans[k] = v
+	}
+	return out
+}
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
