@@ -166,6 +166,19 @@ func main() {
 		fmt.Print(experiments.FormatRouted(rows))
 		return nil
 	})
+	// "scaling" is not part of "all": it sweeps generated circuits beyond
+	// the paper's benchmark sizes, and the std suite at full budgets runs
+	// far longer than the paper tables. Select it explicitly.
+	if want["scaling"] {
+		ranAny = true
+		start := time.Now()
+		rows, err := experiments.Scaling(cfg)
+		if err != nil {
+			log.Fatalf("scaling: %v", err)
+		}
+		fmt.Print(experiments.FormatScaling(rows))
+		fmt.Printf("[scaling completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	// The performance-driven experiments share trained GNN models.
 	needPerf := all || want["table5"] || want["table6"] || want["table7"] || want["fig6"]
@@ -220,7 +233,7 @@ func main() {
 	finish()
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "unknown experiment selection %v\n", sel)
-		fmt.Fprintf(os.Stderr, "available: table1 fig2 table3 table4 fig5 ablations routed table5 table6 table7 fig6 all\n")
+		fmt.Fprintf(os.Stderr, "available: table1 fig2 table3 table4 fig5 ablations routed table5 table6 table7 fig6 all, plus scaling (explicit only)\n")
 		os.Exit(2)
 	}
 }

@@ -77,10 +77,10 @@ type Stats struct {
 type macroKind int
 
 const (
-	mSingle macroKind = iota
-	mIsland           // one symmetry group
-	mBottomPair
-	mVCenterPair
+	mSingle      macroKind = iota
+	mIsland                // one symmetry group
+	mBottomPair            // bottom-aligned chain (>= 2 devices in a row)
+	mVCenterPair           // x-center-aligned chain (>= 2 devices stacked)
 )
 
 type rowRef struct {
@@ -141,23 +141,23 @@ func buildMacros(n *circuit.Netlist) ([]*macro, error) {
 		m.flipY = make([]bool, len(m.rows))
 		macros = append(macros, m)
 	}
-	addPairMacro := func(pr [2]int, kind macroKind) error {
-		if used[pr[0]] || used[pr[1]] {
-			return fmt.Errorf("anneal: device %d or %d already in a macro; overlapping constraint groups are unsupported", pr[0], pr[1])
+	addChains := func(pairs [][2]int, kind macroKind) error {
+		for _, ch := range fuseChains(pairs) {
+			for _, d := range ch {
+				if used[d] {
+					return fmt.Errorf("anneal: device %d in overlapping constraint groups; a device may join at most one symmetry group or alignment chain", d)
+				}
+				used[d] = true
+			}
+			macros = append(macros, &macro{kind: kind, devices: ch})
 		}
-		used[pr[0]], used[pr[1]] = true, true
-		macros = append(macros, &macro{kind: kind, devices: []int{pr[0], pr[1]}})
 		return nil
 	}
-	for _, pr := range n.BottomAlign {
-		if err := addPairMacro(pr, mBottomPair); err != nil {
-			return nil, err
-		}
+	if err := addChains(n.BottomAlign, mBottomPair); err != nil {
+		return nil, err
 	}
-	for _, pr := range n.VCenterAlign {
-		if err := addPairMacro(pr, mVCenterPair); err != nil {
-			return nil, err
-		}
+	if err := addChains(n.VCenterAlign, mVCenterPair); err != nil {
+		return nil, err
 	}
 	for i := range n.Devices {
 		if !used[i] {
@@ -165,6 +165,44 @@ func buildMacros(n *circuit.Netlist) ([]*macro, error) {
 		}
 	}
 	return macros, nil
+}
+
+// fuseChains merges alignment pairs sharing devices into ordered chains, so
+// chained constraints like (a,b),(b,c) — a current-mirror array's adjacent
+// bottom-alignments — become one rigid k-device macro. Disjoint pairs come
+// out unchanged, preserving the historical two-device macro layouts.
+func fuseChains(pairs [][2]int) [][]int {
+	idx := map[int]int{} // device -> chain slot
+	var chains [][]int
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		ca, okA := idx[a]
+		cb, okB := idx[b]
+		switch {
+		case !okA && !okB:
+			idx[a], idx[b] = len(chains), len(chains)
+			chains = append(chains, []int{a, b})
+		case okA && !okB:
+			idx[b] = ca
+			chains[ca] = append(chains[ca], b)
+		case !okA && okB:
+			idx[a] = cb
+			chains[cb] = append(chains[cb], a)
+		case ca != cb:
+			for _, d := range chains[cb] {
+				idx[d] = ca
+			}
+			chains[ca] = append(chains[ca], chains[cb]...)
+			chains[cb] = nil
+		}
+	}
+	out := chains[:0]
+	for _, ch := range chains {
+		if ch != nil {
+			out = append(out, ch)
+		}
+	}
+	return out
 }
 
 // layout computes the macro's bounding block and writes device placements
@@ -179,22 +217,30 @@ func (m *macro) layout(n *circuit.Netlist, relX, relY []float64, flipX, flipY []
 		flipX[i], flipY[i] = m.flipX, m.yFlip
 		return seqpair.Block{W: d.W, H: d.H}
 	case mBottomPair:
-		a, b := m.devices[0], m.devices[1]
-		da, db := &n.Devices[a], &n.Devices[b]
-		relX[a], relY[a] = da.W/2, da.H/2
-		relX[b], relY[b] = da.W+db.W/2, db.H/2
-		flipX[a], flipY[a] = m.flipX, m.yFlip
-		flipX[b], flipY[b] = m.flipX, m.yFlip
-		return seqpair.Block{W: da.W + db.W, H: math.Max(da.H, db.H)}
+		// Bottom-aligned row of >= 2 devices, left to right in chain order.
+		var x, maxH float64
+		for _, i := range m.devices {
+			d := &n.Devices[i]
+			relX[i], relY[i] = x+d.W/2, d.H/2
+			flipX[i], flipY[i] = m.flipX, m.yFlip
+			x += d.W
+			maxH = math.Max(maxH, d.H)
+		}
+		return seqpair.Block{W: x, H: maxH}
 	case mVCenterPair:
-		a, b := m.devices[0], m.devices[1]
-		da, db := &n.Devices[a], &n.Devices[b]
-		w := math.Max(da.W, db.W)
-		relX[a], relY[a] = w/2, da.H/2
-		relX[b], relY[b] = w/2, da.H+db.H/2
-		flipX[a], flipY[a] = m.flipX, m.yFlip
-		flipX[b], flipY[b] = m.flipX, m.yFlip
-		return seqpair.Block{W: w, H: da.H + db.H}
+		// X-center-aligned stack of >= 2 devices, bottom to top.
+		var maxW float64
+		for _, i := range m.devices {
+			maxW = math.Max(maxW, n.Devices[i].W)
+		}
+		var y float64
+		for _, i := range m.devices {
+			d := &n.Devices[i]
+			relX[i], relY[i] = maxW/2, y+d.H/2
+			flipX[i], flipY[i] = m.flipX, m.yFlip
+			y += d.H
+		}
+		return seqpair.Block{W: maxW, H: y}
 	default: // mIsland
 		g := &n.SymGroups[m.group]
 		var width float64

@@ -321,6 +321,18 @@ func (n *Netlist) HPWL(p *Placement) float64 {
 	return s
 }
 
+// RawHPWL returns the total UNWEIGHTED half-perimeter wirelength in grid
+// units: every net counts equally regardless of objective weighting. Used
+// wherever a quality judgment must not inherit the objective's deliberate
+// de-emphasis of some nets (candidate selection, benchmark QoR).
+func (n *Netlist) RawHPWL(p *Placement) float64 {
+	var s float64
+	for e := range n.Nets {
+		s += n.NetHPWL(p, e)
+	}
+	return s
+}
+
 // BoundingBox returns the smallest rectangle containing every placed device.
 func (n *Netlist) BoundingBox(p *Placement) geom.Rect {
 	var bb geom.Rect
@@ -364,6 +376,25 @@ type LegalityReport struct {
 func (r *LegalityReport) OK() bool {
 	return len(r.Overlaps) == 0 && len(r.SymViolations) == 0 &&
 		len(r.AlignErrors) == 0 && len(r.OrderErrors) == 0
+}
+
+// ViolationCounts is the numeric form of a LegalityReport, for
+// machine-readable quality reports.
+type ViolationCounts struct {
+	Overlaps int `json:"overlaps"`
+	Symmetry int `json:"symmetry"`
+	Align    int `json:"align"`
+	Order    int `json:"order"`
+}
+
+// Counts summarizes the report as violation counts per constraint class.
+func (r *LegalityReport) Counts() ViolationCounts {
+	return ViolationCounts{
+		Overlaps: len(r.Overlaps),
+		Symmetry: len(r.SymViolations),
+		Align:    len(r.AlignErrors),
+		Order:    len(r.OrderErrors),
+	}
 }
 
 // Err returns nil when legal, otherwise an error summarizing the counts.

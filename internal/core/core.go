@@ -307,13 +307,9 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 				// objective's net weights deliberately de-emphasize some
 				// nets, but a performance-driven selection must not share
 				// that blind spot.
-				var raw float64
-				for e := range n.Nets {
-					raw += n.NetHPWL(dp.Placement, e)
-				}
 				cands = append(cands, candidate{
 					placement: dp.Placement,
-					quality:   dp.Area * raw,
+					quality:   dp.Area * n.RawHPWL(dp.Placement),
 					phi:       opt.Perf.Model.Prob(n, dp.Placement),
 					guided:    perfTerm != nil,
 				})

@@ -1,0 +1,68 @@
+package density
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+// benchGrid generates a synthetic netlist, spreads it on a grid, and
+// returns an electrostatic model sized to the placement.
+func benchGrid(b *testing.B, m, devices int) (*Electrostatic, *circuit.Netlist, *circuit.Placement) {
+	b.Helper()
+	n, err := gen.Generate(gen.Params{Seed: 3, Devices: devices})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := circuit.NewPlacement(n)
+	cols := 1
+	for cols*cols < n.NumDevices() {
+		cols++
+	}
+	for i := range p.X {
+		p.X[i] = float64(i%cols) * 3
+		p.Y[i] = float64(i/cols) * 3
+	}
+	return NewElectrostatic(m, n.BoundingBox(p)), n, p
+}
+
+// BenchmarkUpdate measures bin accumulation alone (density rasterization
+// without the Poisson solve): Update is called once per GP iteration.
+func BenchmarkUpdate(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("m32/n%d", size), func(b *testing.B) {
+			g, n, p := benchGrid(b, 32, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.accumulate(n, p)
+			}
+		})
+	}
+}
+
+// BenchmarkPoissonSolve measures the spectral Poisson solve alone (DCT,
+// spectral scaling, inverse transforms) at the production grid sizes.
+func BenchmarkPoissonSolve(b *testing.B) {
+	for _, m := range []int{32, 64} {
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			g, n, p := benchGrid(b, m, 200)
+			g.Update(n, p) // fill rho once; solve re-runs on the same density
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.solve()
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateFull measures the full per-iteration density cost
+// (accumulation + Poisson solve), the number GP iteration budgeting needs.
+func BenchmarkUpdateFull(b *testing.B) {
+	g, n, p := benchGrid(b, 32, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Update(n, p)
+	}
+}

@@ -119,6 +119,12 @@ func binRange(a, b, o, s float64, m int) (int, int) {
 // Update rebuilds the density field from placement p and re-solves the
 // Poisson system, refreshing ψ and ξ.
 func (g *Electrostatic) Update(n *circuit.Netlist, p *circuit.Placement) {
+	g.accumulate(n, p)
+	g.solve()
+}
+
+// accumulate rasterizes the inflated device footprints into the ρ bins.
+func (g *Electrostatic) accumulate(n *circuit.Netlist, p *circuit.Placement) {
 	m := g.m
 	for i := range g.rho {
 		g.rho[i] = 0
@@ -147,7 +153,6 @@ func (g *Electrostatic) Update(n *circuit.Netlist, p *circuit.Placement) {
 			}
 		}
 	}
-	g.solve()
 }
 
 // solve computes ψ and ξ from the current ρ via the spectral Poisson solve.

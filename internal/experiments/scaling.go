@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+// ScalingRow is one method's QoR/runtime on one synthetic suite instance.
+// The hand-built paper circuits top out at ~30 devices, so this experiment
+// probes the regime the paper's tables cannot: how each method's runtime
+// and quality scale with device count.
+type ScalingRow struct {
+	Case      string
+	Devices   int
+	Method    string
+	HPWLUM    float64
+	AreaUM2   float64
+	RuntimeMS float64
+	Legal     bool
+}
+
+// Scaling benchmarks every placement method over a generated size sweep
+// (the "quick" suite in quick mode, "std" otherwise) via the bench
+// harness, one timed repetition per cell.
+func Scaling(cfg Config) ([]ScalingRow, error) {
+	suite := "std"
+	if cfg.Quick {
+		suite = "quick"
+	}
+	genCases, err := gen.Suite(suite, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var cases []bench.CaseInput
+	for _, c := range genCases {
+		n, err := gen.Generate(c.Params)
+		if err != nil {
+			return nil, fmt.Errorf("generating %s: %w", c.Name, err)
+		}
+		cases = append(cases, bench.CaseInput{Name: c.Name, Netlist: n})
+	}
+	rep, err := bench.Run(cases, bench.Options{
+		Reps:   1,
+		Warmup: -1, // single repetition per cell; warmups would double the sweep
+		Seed:   cfg.Seed,
+		Quick:  cfg.Quick,
+		Ctx:    cfg.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScalingRow, len(rep.Results))
+	for i, r := range rep.Results {
+		rows[i] = ScalingRow{
+			Case:      r.Case,
+			Devices:   r.Devices,
+			Method:    r.Method,
+			HPWLUM:    r.QoR.HPWLUM,
+			AreaUM2:   r.QoR.AreaUM2,
+			RuntimeMS: r.Runtime.MedianMS,
+			Legal:     r.QoR.Legal,
+		}
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the size sweep grouped by instance.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling: QoR and runtime vs. synthetic circuit size\n")
+	fmt.Fprintf(&b, "%-12s %8s | %-9s %9s %10s %10s %6s\n",
+		"Design", "Devices", "Method", "HPWL(µm)", "Area(µm²)", "t(ms)", "legal")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d | %-9s %9.1f %10.1f %10.1f %6v\n",
+			r.Case, r.Devices, r.Method, r.HPWLUM, r.AreaUM2, r.RuntimeMS, r.Legal)
+	}
+	return b.String()
+}

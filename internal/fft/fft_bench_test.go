@@ -1,0 +1,72 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchReal returns a deterministic length-n real signal.
+func benchReal(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64((i*2654435761)%1000)/500 - 1
+	}
+	return x
+}
+
+var benchNs = []int{32, 64, 256}
+
+// BenchmarkFFT measures the complex radix-2 transform, the primitive under
+// every spectral operation of the Poisson solver.
+func BenchmarkFFT(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			src := make([]complex128, n)
+			for i, v := range benchReal(n) {
+				src[i] = complex(v, 0)
+			}
+			x := make([]complex128, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(x, src)
+				FFT(x)
+			}
+		})
+	}
+}
+
+// BenchmarkDCT2 measures the forward cosine transform of a Plan — one row
+// or column pass of the density grid's spectral decomposition.
+func BenchmarkDCT2(b *testing.B) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			p := NewPlan(n)
+			x := benchReal(n)
+			out := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.DCT2(x, out)
+			}
+		})
+	}
+}
+
+// BenchmarkInverse measures the inverse sine/cosine reconstructions used
+// to recover the potential ψ and field ξ from spectral coefficients.
+func BenchmarkInverse(b *testing.B) {
+	for _, n := range benchNs {
+		p := NewPlan(n)
+		a := benchReal(n)
+		out := make([]float64, n)
+		b.Run(fmt.Sprintf("cos/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.InvCos(a, out)
+			}
+		})
+		b.Run(fmt.Sprintf("sin/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.InvSin(a, out)
+			}
+		})
+	}
+}

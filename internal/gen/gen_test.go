@@ -1,0 +1,159 @@
+package gen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netio"
+)
+
+// TestDeterminism: the same parameters must serialize to byte-identical
+// JSON, and a different seed must actually change the instance.
+func TestDeterminism(t *testing.T) {
+	for _, devices := range []int{10, 60, 300} {
+		p := gen.Params{Seed: 7, Devices: devices}
+		var a, b bytes.Buffer
+		if err := gen.MustGenerate(p).WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.MustGenerate(p).WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("devices=%d: same seed produced different JSON", devices)
+		}
+		var c bytes.Buffer
+		q := p
+		q.Seed = 8
+		if err := gen.MustGenerate(q).WriteJSON(&c); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a.Bytes(), c.Bytes()) {
+			t.Errorf("devices=%d: different seeds produced identical JSON", devices)
+		}
+	}
+}
+
+// TestRoundTrip: generated netlists must survive the shared netio loading
+// path (parse + front-loaded validation) for every suite and a spread of
+// sizes, and the realized device count must land at or just above target.
+func TestRoundTrip(t *testing.T) {
+	for _, suite := range gen.SuiteNames() {
+		cases, err := gen.Suite(suite, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			if c.Params.Devices > 1200 {
+				continue // keep the test fast; scale sizes run via cmd/bench
+			}
+			n := gen.MustGenerate(c.Params)
+			if got := n.NumDevices(); got < c.Params.Devices || got > c.Params.Devices+11 {
+				t.Errorf("%s/%s: %d devices for target %d", suite, c.Name, got, c.Params.Devices)
+			}
+			var buf bytes.Buffer
+			if err := n.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			m, err := netio.DecodeBytes(buf.Bytes(), c.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: reloading generated netlist: %v", suite, c.Name, err)
+			}
+			if m.NumDevices() != n.NumDevices() || len(m.Nets) != len(n.Nets) {
+				t.Errorf("%s/%s: round trip changed counts", suite, c.Name)
+			}
+		}
+	}
+}
+
+// TestSymmetryGroups: every symmetry group must be well-formed — non-empty,
+// distinct matched-footprint pairs, no device in two groups (Validate
+// enforces all of this, so here we check the generator actually emits
+// groups when asked and none when symmetry density is zero).
+func TestSymmetryGroups(t *testing.T) {
+	n := gen.MustGenerate(gen.Params{Seed: 3, Devices: 200})
+	if len(n.SymGroups) == 0 {
+		t.Fatal("default SymDensity produced no symmetry groups")
+	}
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		if len(g.Pairs) == 0 {
+			t.Errorf("group %d has no mirrored pairs", gi)
+		}
+		for _, pr := range g.Pairs {
+			a, b := &n.Devices[pr[0]], &n.Devices[pr[1]]
+			if a.W != b.W || a.H != b.H {
+				t.Errorf("group %d pair (%s,%s): footprints %gx%g vs %gx%g",
+					gi, a.Name, b.Name, a.W, a.H, b.W, b.H)
+			}
+		}
+	}
+
+	asym := gen.MustGenerate(gen.Params{Seed: 3, Devices: 200, SymDensity: -1})
+	if len(asym.SymGroups) != 0 {
+		t.Errorf("SymDensity<0 still produced %d symmetry groups", len(asym.SymGroups))
+	}
+	// The asymmetric families carry the alignment/ordering constraints.
+	if len(asym.HOrders) == 0 || len(asym.BottomAlign) == 0 {
+		t.Error("asymmetric instance missing ordering/alignment constraints")
+	}
+}
+
+// TestKnobs: fanout and aspect-spread knobs must have their documented
+// effect.
+func TestKnobs(t *testing.T) {
+	uniform := gen.MustGenerate(gen.Params{Seed: 5, Devices: 100, AspectSpread: -1})
+	seen := map[[2]float64]bool{}
+	for i := range uniform.Devices {
+		d := &uniform.Devices[i]
+		if d.Type.String() == "nmos" && len(d.Pins) == 3 {
+			seen[[2]float64{d.W, d.H}] = true
+		}
+	}
+	spread := gen.MustGenerate(gen.Params{Seed: 5, Devices: 100, AspectSpread: 0.4})
+	seenSpread := map[[2]float64]bool{}
+	for i := range spread.Devices {
+		d := &spread.Devices[i]
+		seenSpread[[2]float64{d.W, d.H}] = true
+	}
+	if len(seenSpread) <= len(seen) {
+		t.Errorf("aspect spread had no effect: %d distinct footprints vs %d", len(seenSpread), len(seen))
+	}
+
+	// Larger fanout widens the signal tree: the root tile's output net
+	// drives more child inputs.
+	sig0Pins := func(n int) int {
+		nl := gen.MustGenerate(gen.Params{Seed: 5, Devices: 300, Fanout: n})
+		for e := range nl.Nets {
+			if nl.Nets[e].Name == "sig0" {
+				return len(nl.Nets[e].Pins)
+			}
+		}
+		t.Fatal("no sig0 net")
+		return 0
+	}
+	if wide, narrow := sig0Pins(6), sig0Pins(1); wide <= narrow {
+		t.Errorf("fanout knob had no effect: sig0 has %d pins at fanout 6 vs %d at fanout 1", wide, narrow)
+	}
+}
+
+// TestParseSpec covers the CLI generator-spec syntax.
+func TestParseSpec(t *testing.T) {
+	p, err := gen.ParseSpec("gen:200@7")
+	if err != nil || p.Devices != 200 || p.Seed != 7 {
+		t.Fatalf("gen:200@7 -> %+v, %v", p, err)
+	}
+	p, err = gen.ParseSpec("gen:64")
+	if err != nil || p.Devices != 64 || p.Seed != 1 {
+		t.Fatalf("gen:64 -> %+v, %v", p, err)
+	}
+	for _, bad := range []string{"gen:", "gen:3", "gen:abc", "gen:50@x", "foo:50"} {
+		if _, err := gen.ParseSpec(bad); err == nil {
+			t.Errorf("gen.ParseSpec(%q) accepted", bad)
+		}
+	}
+	if !gen.IsSpec("gen:10") || gen.IsSpec("CC-OTA") {
+		t.Error("IsSpec misclassified")
+	}
+}

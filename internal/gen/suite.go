@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Case is one named instance of a benchmark suite.
+type Case struct {
+	Name   string
+	Params Params
+}
+
+// suiteSizes maps each named suite to its instance sizes (target device
+// counts). "quick" is the CI smoke suite; "std" is the default regression
+// suite; "scale" probes the asymptotic regime the hand-built circuits
+// cannot reach.
+var suiteSizes = map[string][]int{
+	"quick": {12, 24, 48},
+	"std":   {50, 150, 400, 1000},
+	"scale": {1000, 2500, 5000},
+}
+
+// SuiteNames lists the named suites in deterministic order.
+func SuiteNames() []string {
+	names := make([]string, 0, len(suiteSizes))
+	for k := range suiteSizes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite builds the named suite with instance seeds derived from seed. Each
+// case's parameters otherwise use the package defaults, so a (suite, seed)
+// pair fully determines every netlist.
+func Suite(name string, seed int64) ([]Case, error) {
+	sizes, ok := suiteSizes[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown suite %q (want one of %s)",
+			name, strings.Join(SuiteNames(), ", "))
+	}
+	return Sizes(sizes, seed), nil
+}
+
+// Sizes builds one case per target device count, with per-case seeds
+// derived from seed so different sizes are not just prefixes of each other.
+func Sizes(sizes []int, seed int64) []Case {
+	out := make([]Case, len(sizes))
+	for i, sz := range sizes {
+		p := Params{Seed: seed + int64(sz), Devices: sz}
+		p.Name = fmt.Sprintf("synth-%d", sz)
+		out[i] = Case{Name: p.Name, Params: p}
+	}
+	return out
+}
+
+// ParseSizes parses a comma-separated device-count list ("30,100,300")
+// into suite sizes.
+func ParseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 4 {
+			return nil, fmt.Errorf("gen: bad size %q (want integers >= 4)", f)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("gen: empty size list %q", s)
+	}
+	return sizes, nil
+}
+
+// ParseSpec parses the compact generator spec accepted by the CLIs'
+// -circuit flags: "gen:<devices>" or "gen:<devices>@<seed>" (seed defaults
+// to 1), e.g. "gen:200@7".
+func ParseSpec(spec string) (Params, error) {
+	body, ok := strings.CutPrefix(spec, "gen:")
+	if !ok {
+		return Params{}, fmt.Errorf("gen: spec %q does not start with \"gen:\"", spec)
+	}
+	devPart, seedPart, hasSeed := strings.Cut(body, "@")
+	devices, err := strconv.Atoi(devPart)
+	if err != nil || devices < 4 {
+		return Params{}, fmt.Errorf("gen: spec %q: bad device count %q (want integer >= 4)", spec, devPart)
+	}
+	p := Params{Seed: 1, Devices: devices}
+	if hasSeed {
+		seed, err := strconv.ParseInt(seedPart, 10, 64)
+		if err != nil {
+			return Params{}, fmt.Errorf("gen: spec %q: bad seed %q", spec, seedPart)
+		}
+		p.Seed = seed
+	}
+	return p, nil
+}
+
+// IsSpec reports whether s looks like a generator spec ("gen:...").
+func IsSpec(s string) bool { return strings.HasPrefix(s, "gen:") }

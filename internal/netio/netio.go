@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/circuit"
+	"repro/internal/gen"
 	"repro/internal/testcircuits"
 )
 
@@ -45,16 +46,28 @@ func LoadFile(path string) (*circuit.Netlist, error) {
 	return Decode(f, path)
 }
 
-// Load resolves the netlist-source choice shared by cmd/placer and the
-// placement service: a JSON file path, or a built-in benchmark name.
+// Load resolves the netlist-source choice shared by cmd/placer, cmd/bench
+// and the placement service: a JSON file path, a built-in benchmark name,
+// or a synthetic-generator spec ("gen:<devices>[@seed]", e.g. "gen:200@7").
 // Exactly one of inPath and builtin must be non-empty. The returned Case is
-// non-nil only for built-in circuits (it carries the performance model).
+// non-nil only for built-in circuits (it carries the performance model);
+// generated circuits have no performance model.
 func Load(inPath, builtin string) (*circuit.Netlist, *testcircuits.Case, error) {
 	switch {
 	case inPath != "" && builtin != "":
 		return nil, nil, fmt.Errorf("netio: choose a netlist file or a built-in circuit, not both")
 	case inPath != "":
 		n, err := LoadFile(inPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, nil, nil
+	case gen.IsSpec(builtin):
+		p, err := gen.ParseSpec(builtin)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, err := gen.Generate(p)
 		if err != nil {
 			return nil, nil, err
 		}

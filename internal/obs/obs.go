@@ -117,6 +117,25 @@ type SummaryRecord struct {
 	WallMS   float64             `json:"wall_ms"`
 }
 
+// ChildMS folds the summary's span statistics into per-stage totals: the
+// total milliseconds of each span nested directly under parent, keyed by
+// the child's own name ("gp", "detailed", "sa" under "place"). Deeper
+// descendants are excluded — their time is already inside their ancestor's
+// total. The benchmark harness uses this to attribute runtime to pipeline
+// stages.
+func (s SummaryRecord) ChildMS(parent string) map[string]float64 {
+	out := map[string]float64{}
+	prefix := parent + "/"
+	for path, st := range s.Spans {
+		rest, ok := strings.CutPrefix(path, prefix)
+		if !ok || strings.Contains(rest, "/") {
+			continue
+		}
+		out[rest] += st.TotalMS
+	}
+	return out
+}
+
 // Sink receives events from a Tracer. Sinks are invoked under the tracer's
 // lock, so implementations need no synchronization of their own.
 type Sink interface {
