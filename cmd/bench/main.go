@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,6 +40,7 @@ func main() {
 		reps     = flag.Int("reps", 0, "timed repetitions per case and method (default 3, 1 with -quick)")
 		warmup   = flag.Int("warmup", -1, "untimed warmup runs per case and method (default 1, 0 with -quick)")
 		seed     = flag.Int64("seed", 1, "seed for both circuit generation and placement")
+		threads  = flag.Int("threads", runtime.NumCPU(), "worker threads for the placement kernels (QoR is bit-identical at any count)")
 		quick    = flag.Bool("quick", false, "reduced solver budgets and repetitions (CI smoke scale)")
 		label    = flag.String("label", "", "report label, names the output file BENCH_<label>.json (default the suite name)")
 		outDir   = flag.String("out", ".", "directory for the report file")
@@ -50,13 +52,13 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline,
-		*reps, *warmup, *seed, *quick, *rtTol, *qorTol, *timeout, *quiet); err != nil {
+		*reps, *warmup, *threads, *seed, *quick, *rtTol, *qorTol, *timeout, *quiet); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(suite, sizes, netlists, methods, label, outDir, baseline string,
-	reps, warmup int, seed int64, quick bool, rtTol, qorTol float64,
+	reps, warmup, threads int, seed int64, quick bool, rtTol, qorTol float64,
 	timeout time.Duration, quiet bool) error {
 
 	cases, suiteName, err := resolveCases(suite, sizes, netlists, seed, quick)
@@ -65,10 +67,11 @@ func run(suite, sizes, netlists, methods, label, outDir, baseline string,
 	}
 
 	opt := bench.Options{
-		Reps:   reps,
-		Warmup: warmup,
-		Seed:   seed,
-		Quick:  quick,
+		Reps:    reps,
+		Warmup:  warmup,
+		Seed:    seed,
+		Quick:   quick,
+		Threads: threads,
 	}
 	if methods != "" {
 		for _, f := range strings.Split(methods, ",") {

@@ -36,6 +36,7 @@ func main() {
 		method  = flag.String("method", "eplace-a", "placement method: sa | prev | eplace-a")
 		outPath = flag.String("out", "", "write placement JSON here (default stdout)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		threads = flag.Int("threads", runtime.NumCPU(), "worker threads for the placement kernels (results are bit-identical at any count)")
 		perf    = flag.Bool("perf", false, "performance-driven variant (built-in circuits only; trains a GNN)")
 		list    = flag.Bool("list", false, "list built-in benchmark circuits")
 		dumpNet = flag.Bool("dump-netlist", false, "write the selected circuit's netlist JSON and exit")
@@ -91,7 +92,7 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, *inPath, *name, *method, *outPath, *svgPath, *seed, *perf, *dumpNet, tracer)
+	err := run(ctx, *inPath, *name, *method, *outPath, *svgPath, *seed, *threads, *perf, *dumpNet, tracer)
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("closing trace: %w", cerr)
 	}
@@ -106,7 +107,7 @@ func main() {
 
 // run executes the placement flow; all fallible work lives here so main
 // can release the profiler and tracer on every exit path.
-func run(ctx context.Context, inPath, name, method, outPath, svgPath string, seed int64, perf, dumpNet bool, tracer *obs.Tracer) error {
+func run(ctx context.Context, inPath, name, method, outPath, svgPath string, seed int64, threads int, perf, dumpNet bool, tracer *obs.Tracer) error {
 	if inPath == "" && name == "" {
 		return fmt.Errorf("need -in FILE or -circuit NAME (try -list)")
 	}
@@ -145,7 +146,7 @@ func run(ctx context.Context, inPath, name, method, outPath, svgPath string, see
 		return err
 	}
 
-	opt := core.Options{Seed: seed, Tracer: tracer}
+	opt := core.Options{Seed: seed, Tracer: tracer, Threads: threads}
 	if perf {
 		if cs == nil {
 			return fmt.Errorf("-perf needs a built-in circuit (the GNN trains against its performance model)")

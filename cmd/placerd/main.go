@@ -34,6 +34,7 @@ func main() {
 	log.SetPrefix("placerd: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "solver worker pool size")
+	threads := flag.Int("threads", runtime.NumCPU(), "default per-job kernel worker threads (requests may override; results are bit-identical at any count)")
 	queueCap := flag.Int("queue", 64, "queued-job capacity; beyond it submissions get 429")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBody, "request body size limit in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when the request sets none (0 = no limit)")
@@ -45,6 +46,7 @@ func main() {
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		DefaultTimeout: *jobTimeout,
+		Threads:        *threads,
 	})
 	srv := service.NewServer(mgr, *maxBody)
 

@@ -59,12 +59,17 @@ type CaseResult struct {
 
 // Report is the on-disk BENCH_<label>.json document.
 type Report struct {
-	Schema      int          `json:"schema"`
-	Label       string       `json:"label,omitempty"`
-	Suite       string       `json:"suite,omitempty"`
-	Seed        int64        `json:"seed"`
-	Quick       bool         `json:"quick,omitempty"`
-	Methods     []string     `json:"methods"`
+	Schema  int      `json:"schema"`
+	Label   string   `json:"label,omitempty"`
+	Suite   string   `json:"suite,omitempty"`
+	Seed    int64    `json:"seed"`
+	Quick   bool     `json:"quick,omitempty"`
+	Methods []string `json:"methods"`
+	// Threads is the resolved placement-kernel worker count the run used;
+	// GoMaxProcs snapshots the Go scheduler's parallelism. QoR does not
+	// depend on either (deterministic sharding), runtime does.
+	Threads     int          `json:"threads,omitempty"`
+	GoMaxProcs  int          `json:"gomaxprocs,omitempty"`
 	GoVersion   string       `json:"go_version,omitempty"`
 	CreatedUnix int64        `json:"created_unix,omitempty"`
 	Results     []CaseResult `json:"results"`

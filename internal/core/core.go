@@ -29,6 +29,7 @@ import (
 	"repro/internal/eplacea"
 	"repro/internal/gnn"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/prevwork"
 )
@@ -107,6 +108,15 @@ type Options struct {
 	// events. Per-stage overrides that already carry a tracer keep it.
 	Tracer *obs.Tracer
 
+	// Threads sets the worker count for the parallel placement kernels
+	// (wirelength gradients, density rasterization, spectral solve).
+	// Zero means runtime.NumCPU(); 1 forces fully inline execution.
+	// Results are bit-identical at every thread count — deterministic
+	// sharding (internal/par) fixes every floating-point summation
+	// order from the problem size alone. Per-stage overrides that
+	// already carry a Pool keep it.
+	Threads int
+
 	// Advanced per-stage overrides (optional).
 	GP   *eplacea.Options
 	Prev *prevwork.Options
@@ -152,6 +162,14 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 	start := time.Now()
 	placeSpan := opt.Tracer.StartSpan("place")
 	defer placeSpan.End()
+	threads := opt.Threads
+	if threads == 0 {
+		threads = par.NumCPU()
+	}
+	// NewPool returns nil for threads <= 1: the kernels then run inline.
+	// Either way the placement bits are independent of the choice.
+	pool := par.NewPool(threads)
+	defer pool.Close()
 	res := &Result{Method: method}
 	switch method {
 	case MethodSA:
@@ -194,6 +212,9 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 		if gpOpt.Tracer == nil {
 			gpOpt.Tracer = opt.Tracer
 		}
+		if gpOpt.Pool == nil {
+			gpOpt.Pool = pool
+		}
 		gp, err := prevwork.PlaceExtraCtx(ctx, n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
 		if err != nil {
 			return nil, err
@@ -230,6 +251,9 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 		}
 		if baseGP.Tracer == nil {
 			baseGP.Tracer = opt.Tracer
+		}
+		if baseGP.Pool == nil {
+			baseGP.Pool = pool
 		}
 		dpOpt := detailed.Options{Mode: detailed.ModeIntegratedILP, Mu: opt.Mu}
 		if opt.DP != nil {

@@ -8,6 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/eplacea"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/prevwork"
 	"repro/internal/testcircuits"
 )
 
@@ -74,6 +78,78 @@ func TestParallelPlaceDeterministic(t *testing.T) {
 		}
 		if !bytes.Equal(got[i], want[i]) {
 			t.Errorf("run %d (%v seed %d): parallel placement differs from sequential", i, cfgs[i].method, cfgs[i].opt.Seed)
+		}
+	}
+}
+
+// TestThreadCountByteIdentity places one generated netlist with threads=1
+// and threads=8 and requires byte-identical placement JSON for every
+// method: the deterministic sharding contract of internal/par, observed at
+// the client-visible payload. The netlist is sized so every kernel actually
+// shards (48 devices and 35 nets exceed the 32-element shard grains; the
+// grid transforms shard per row) while the integrated-ILP detailed stage —
+// sequential, and forced for eplace-a — stays affordable. The per-stage
+// iteration caps only shorten the run; every kernel still executes
+// hundreds of sharded evaluations.
+func TestThreadCountByteIdentity(t *testing.T) {
+	n, err := gen.Generate(gen.Params{Devices: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(res *Result) []byte {
+		var buf bytes.Buffer
+		if err := n.WritePlacementJSON(&buf, res.Placement); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	methods := []Method{MethodSA, MethodPrev, MethodEPlaceA}
+	if raceEnabled {
+		// eplace-a's forced integrated-ILP detailed stage is sequential and
+		// ~10x slower under the race detector — enough to blow the package's
+		// test timeout. Cover its threaded global placement directly instead:
+		// same kernels (wl gradients, rasterization, spectral solve, field
+		// sampling) under an 8-worker pool, compared against the inline run.
+		methods = methods[:2]
+		pool := par.NewPool(8)
+		defer pool.Close()
+		gpOpt := eplacea.Options{Seed: 21, MaxIter: 60}
+		inline, err := eplacea.Place(n, gpOpt)
+		if err != nil {
+			t.Fatalf("eplace-a GP inline: %v", err)
+		}
+		gpOpt.Pool = pool
+		pooled, err := eplacea.Place(n, gpOpt)
+		if err != nil {
+			t.Fatalf("eplace-a GP pooled: %v", err)
+		}
+		for i := range inline.Placement.X {
+			if inline.Placement.X[i] != pooled.Placement.X[i] ||
+				inline.Placement.Y[i] != pooled.Placement.Y[i] {
+				t.Fatalf("eplace-a GP: device %d differs between inline and 8-worker pool", i)
+			}
+		}
+	}
+	for _, m := range methods {
+		opt := Options{
+			Seed:      21,
+			SA:        fastSA(21),
+			Portfolio: 1,
+			Threads:   1,
+			GP:        &eplacea.Options{MaxIter: 60},
+			Prev:      &prevwork.Options{Epochs: 3, ItersPerEpoch: 25},
+		}
+		one, err := Place(n, m, opt)
+		if err != nil {
+			t.Fatalf("%v threads=1: %v", m, err)
+		}
+		opt.Threads = 8
+		eight, err := Place(n, m, opt)
+		if err != nil {
+			t.Fatalf("%v threads=8: %v", m, err)
+		}
+		if !bytes.Equal(render(one), render(eight)) {
+			t.Errorf("%v: placement JSON differs between threads=1 and threads=8", m)
 		}
 	}
 }

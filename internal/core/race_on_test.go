@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, so heavyweight tests can swap sequential-solver work (~10x
+// slower raced) for equivalent coverage that stays inside the package's
+// timeout budget.
+const raceEnabled = true

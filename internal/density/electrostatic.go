@@ -11,7 +11,21 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fft"
 	"repro/internal/geom"
+	"repro/internal/par"
 )
+
+// devGrain is the minimum number of devices per shard when rasterization
+// and gradient sampling are split. Fixed so shard geometry — and with it
+// the bin-sum merge order — depends only on the netlist size, keeping
+// results bit-identical at every thread count.
+const devGrain = 32
+
+// gridScratch is the per-worker-slot working set for row/column transform
+// passes: an fft.Scratch for the shared Plan plus gather/output lines.
+type gridScratch struct {
+	fs       *fft.Scratch
+	buf, out []float64
+}
 
 // Electrostatic is the ePlace density model: devices are positive charges
 // whose density field ρ drives a Poisson equation ∇²ψ = -ρ; the overlap
@@ -19,11 +33,20 @@ import (
 // electric field ξ = -∇ψ scaled by device charge. The Poisson solve is
 // spectral: a 2-D DCT of ρ, per-frequency scaling, and inverse cosine/sine
 // reconstructions for ψ, ξx, ξy.
+//
+// Concurrency model: a grid built over a par.Pool parallelizes the three
+// device-sharded passes (rasterization with per-shard partial ρ grids
+// merged in shard order, field sampling with disjoint per-device writes)
+// and the row/column transform passes of the spectral solve (disjoint
+// lines, per-slot fft scratch). Shard geometry is a pure function of
+// problem size, so pooled and inline execution produce identical bits.
+// The grid itself is not safe for concurrent use by multiple goroutines.
 type Electrostatic struct {
 	m      int
 	region geom.Rect
 	binW   float64
 	binH   float64
+	pool   *par.Pool
 
 	plan *fft.Plan
 	rho  []float64 // device area density per bin (area units / bin area)
@@ -32,16 +55,24 @@ type Electrostatic struct {
 	ex   []float64 // field x-component per bin
 	ey   []float64 // field y-component per bin
 
-	coefBuf []float64 // scratch: scaled coefficients
-	rowBuf  []float64
-	rowOut  []float64
+	coefBuf []float64     // scratch: scaled coefficients
+	slots   []gridScratch // per-worker-slot transform scratch
+	partRho []float64     // per-shard partial ρ grids (one grid when pool is nil)
 }
 
 // NewElectrostatic creates an m×m electrostatic grid (m a power of two)
-// covering region.
+// covering region, running inline on the calling goroutine.
 func NewElectrostatic(m int, region geom.Rect) *Electrostatic {
+	return NewElectrostaticPool(m, region, nil)
+}
+
+// NewElectrostaticPool is NewElectrostatic with a worker pool for the
+// rasterization, solve, and gradient kernels. A nil pool is valid and
+// means inline execution with identical result bits.
+func NewElectrostaticPool(m int, region geom.Rect, pool *par.Pool) *Electrostatic {
 	g := &Electrostatic{
 		m:       m,
+		pool:    pool,
 		plan:    fft.NewPlan(m),
 		rho:     make([]float64, m*m),
 		auv:     make([]float64, m*m),
@@ -49,8 +80,14 @@ func NewElectrostatic(m int, region geom.Rect) *Electrostatic {
 		ex:      make([]float64, m*m),
 		ey:      make([]float64, m*m),
 		coefBuf: make([]float64, m*m),
-		rowBuf:  make([]float64, m),
-		rowOut:  make([]float64, m),
+		slots:   make([]gridScratch, pool.Workers()),
+	}
+	for i := range g.slots {
+		g.slots[i] = gridScratch{
+			fs:  g.plan.NewScratch(),
+			buf: make([]float64, m),
+			out: make([]float64, m),
+		}
 	}
 	g.SetRegion(region)
 	return g
@@ -124,13 +161,68 @@ func (g *Electrostatic) Update(n *circuit.Netlist, p *circuit.Placement) {
 }
 
 // accumulate rasterizes the inflated device footprints into the ρ bins.
+// Devices are split into shards; each shard rasterizes into its own
+// partial grid and the partials are added into ρ in shard order, so the
+// per-bin summation tree depends only on the netlist, not on scheduling.
 func (g *Electrostatic) accumulate(n *circuit.Netlist, p *circuit.Placement) {
 	m := g.m
 	for i := range g.rho {
 		g.rho[i] = 0
 	}
+	nd := len(n.Devices)
+	shards := par.ShardCount(nd, devGrain)
+	if shards == 1 {
+		g.rasterize(n, p, 0, nd, g.rho)
+		return
+	}
+	bins := m * m
+	if g.pool == nil {
+		// Sequential shards reuse one partial grid, merged after each
+		// shard — the identical additions, in the identical order, as
+		// the pooled branch.
+		g.ensurePartRho(1)
+		for s := 0; s < shards; s++ {
+			lo, hi := par.ShardRange(nd, shards, s)
+			part := g.partRho[:bins]
+			for i := range part {
+				part[i] = 0
+			}
+			g.rasterize(n, p, lo, hi, part)
+			for i, v := range part {
+				g.rho[i] += v
+			}
+		}
+		return
+	}
+	g.ensurePartRho(shards)
+	g.pool.Run(shards, func(s int) {
+		lo, hi := par.ShardRange(nd, shards, s)
+		part := g.partRho[s*bins : (s+1)*bins]
+		for i := range part {
+			part[i] = 0
+		}
+		g.rasterize(n, p, lo, hi, part)
+	})
+	for s := 0; s < shards; s++ {
+		part := g.partRho[s*bins : (s+1)*bins]
+		for i, v := range part {
+			g.rho[i] += v
+		}
+	}
+}
+
+// ensurePartRho sizes the partial-grid arena for the given shard count.
+func (g *Electrostatic) ensurePartRho(shards int) {
+	if need := shards * g.m * g.m; len(g.partRho) < need {
+		g.partRho = make([]float64, need)
+	}
+}
+
+// rasterize adds the footprints of devices [lo, hi) into the dst grid.
+func (g *Electrostatic) rasterize(n *circuit.Netlist, p *circuit.Placement, lo, hi int, dst []float64) {
+	m := g.m
 	binArea := g.binW * g.binH
-	for i := range n.Devices {
+	for i := lo; i < hi; i++ {
 		r, scale := g.inflated(n, p, i)
 		if r.Empty() {
 			continue
@@ -149,7 +241,7 @@ func (g *Electrostatic) accumulate(n *circuit.Netlist, p *circuit.Placement) {
 				if ox <= 0 {
 					continue
 				}
-				g.rho[by*m+bx] += scale * ox * oy / binArea
+				dst[by*m+bx] += scale * ox * oy / binArea
 			}
 		}
 	}
@@ -167,19 +259,22 @@ func (g *Electrostatic) solve() {
 	for i, v := range g.rho {
 		g.auv[i] = v - mean
 	}
-	// Forward 2-D DCT-II: rows (over x), then columns (over y).
-	for y := 0; y < m; y++ {
-		g.plan.DCT2(g.auv[y*m:(y+1)*m], g.auv[y*m:(y+1)*m])
-	}
-	for x := 0; x < m; x++ {
+	// Forward 2-D DCT-II: rows (over x), then columns (over y). Lines
+	// are independent and write disjoint slices, so each pass fans out
+	// across the pool with per-slot scratch.
+	g.forLines(func(slot, y int) {
+		g.plan.DCT2To(g.auv[y*m:(y+1)*m], g.auv[y*m:(y+1)*m], g.slots[slot].fs)
+	})
+	g.forLines(func(slot, x int) {
+		sc := &g.slots[slot]
 		for y := 0; y < m; y++ {
-			g.rowBuf[y] = g.auv[y*m+x]
+			sc.buf[y] = g.auv[y*m+x]
 		}
-		g.plan.DCT2(g.rowBuf, g.rowOut)
+		g.plan.DCT2To(sc.buf, sc.out, sc.fs)
 		for y := 0; y < m; y++ {
-			g.auv[y*m+x] = g.rowOut[y]
+			g.auv[y*m+x] = sc.out[y]
 		}
-	}
+	})
 	// Normalize to an exact cosine-series representation:
 	// rho[x][y] = Σ auv cos cos with the (2/M)² and α₀ = 1/2 factors folded in.
 	nrm := 4 / (float64(m) * float64(m))
@@ -235,35 +330,51 @@ func (g *Electrostatic) solve() {
 	g.reconstruct(g.coefBuf, g.ey, false, true)
 }
 
+// forLines runs body(slot, line) for each of the grid's m lines on the
+// pool, one shard per contiguous line range. Lines must write disjoint
+// outputs; slot indexes per-worker scratch.
+func (g *Electrostatic) forLines(body func(slot, line int)) {
+	shards := par.ShardCount(g.m, 1)
+	g.pool.RunIndexed(shards, func(slot, s int) {
+		lo, hi := par.ShardRange(g.m, shards, s)
+		for line := lo; line < hi; line++ {
+			body(slot, line)
+		}
+	})
+}
+
 // reconstruct performs the 2-D inverse transform of coef into out, using a
 // sine basis along x when sinX is set and along y when sinY is set (cosine
-// otherwise). coef is indexed [v*m+u]; out is indexed [y*m+x].
+// otherwise). coef is indexed [v*m+u]; out is indexed [y*m+x]. Both passes
+// fan out across the pool line-by-line.
 func (g *Electrostatic) reconstruct(coef, out []float64, sinX, sinY bool) {
 	m := g.m
 	// Inverse along u → x for each v.
-	for v := 0; v < m; v++ {
+	g.forLines(func(slot, v int) {
+		sc := &g.slots[slot]
 		row := coef[v*m : (v+1)*m]
 		if sinX {
-			g.plan.InvSin(row, g.rowOut)
+			g.plan.InvSinTo(row, sc.out, sc.fs)
 		} else {
-			g.plan.InvCos(row, g.rowOut)
+			g.plan.InvCosTo(row, sc.out, sc.fs)
 		}
-		copy(out[v*m:(v+1)*m], g.rowOut) // out temporarily holds [v][x]
-	}
+		copy(out[v*m:(v+1)*m], sc.out) // out temporarily holds [v][x]
+	})
 	// Inverse along v → y for each x.
-	for x := 0; x < m; x++ {
+	g.forLines(func(slot, x int) {
+		sc := &g.slots[slot]
 		for v := 0; v < m; v++ {
-			g.rowBuf[v] = out[v*m+x]
+			sc.buf[v] = out[v*m+x]
 		}
 		if sinY {
-			g.plan.InvSin(g.rowBuf, g.rowOut)
+			g.plan.InvSinTo(sc.buf, sc.out, sc.fs)
 		} else {
-			g.plan.InvCos(g.rowBuf, g.rowOut)
+			g.plan.InvCosTo(sc.buf, sc.out, sc.fs)
 		}
 		for y := 0; y < m; y++ {
-			out[y*m+x] = g.rowOut[y]
+			out[y*m+x] = sc.out[y]
 		}
-	}
+	})
 }
 
 // Energy returns the electrostatic potential energy N(v) = ½·Σ q·ψ of the
@@ -279,9 +390,21 @@ func (g *Electrostatic) Energy() float64 {
 
 // AddGrad accumulates ∂N/∂x_i = -q_i·ξ(i) into gradX/gradY, sampling the
 // field over each device's (inflated) footprint weighted by bin overlap.
+// Each device writes only its own gradient entry, so the device shards
+// run on the pool with no reduction step.
 func (g *Electrostatic) AddGrad(n *circuit.Netlist, p *circuit.Placement, gradX, gradY []float64) {
+	nd := len(n.Devices)
+	shards := par.ShardCount(nd, devGrain)
+	g.pool.Run(shards, func(s int) {
+		lo, hi := par.ShardRange(nd, shards, s)
+		g.addGradRange(n, p, gradX, gradY, lo, hi)
+	})
+}
+
+// addGradRange samples the field for devices [lo, hi).
+func (g *Electrostatic) addGradRange(n *circuit.Netlist, p *circuit.Placement, gradX, gradY []float64, lo, hi int) {
 	m := g.m
-	for i := range n.Devices {
+	for i := lo; i < hi; i++ {
 		r, scale := g.inflated(n, p, i)
 		if r.Empty() {
 			continue

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/nlopt"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/wl"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 	// alongside the underlying solver's own events. Telemetry is
 	// observation-only; a nil Tracer costs one pointer check.
 	Tracer *obs.Tracer
+
+	// Pool, when non-nil, parallelizes the wirelength-gradient, density
+	// rasterization, Poisson solve, and field-sampling kernels. Results
+	// are bit-identical to a nil Pool at any worker count (deterministic
+	// sharding; see internal/par). The caller owns the pool's lifetime.
+	Pool *par.Pool
 }
 
 func (o *Options) defaults() {
@@ -158,14 +165,14 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra E
 
 	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
 	region := geom.RectWH(0, 0, side, side)
-	grid := density.NewElectrostatic(opt.GridM, region)
+	grid := density.NewElectrostaticPool(opt.GridM, region, opt.Pool)
 	binW := region.W() / float64(opt.GridM)
 
 	smoother := wl.WA
 	if opt.UseLSE {
 		smoother = wl.LSE
 	}
-	wlEv := wl.NewEvaluator(n, smoother, 4*binW)
+	wlEv := wl.NewEvaluatorPool(n, smoother, 4*binW, opt.Pool)
 	areaEv := wl.NewAreaEvaluator(n, 4*binW)
 
 	// Initial placement: devices gathered at the region center with a small

@@ -2,7 +2,13 @@
 // electrostatic placement: an iterative radix-2 complex FFT, an FFT-based
 // forward DCT-II, and the inverse cosine/sine reconstructions used to
 // evaluate the electrostatic potential ψ and field ξ from frequency-domain
-// Poisson coefficients.
+// Poisson coefficients. Every trig transform is O(N log N): the forward
+// DCT-II uses the Makhoul even-odd permutation and one length-N FFT, the
+// inverse cosine series inverts that recombination with one length-N IFFT,
+// and the sine series reduces to the cosine series by index reversal
+// (see the derivation on InvCosTo/InvSinTo). The dense O(N²) matVec path
+// the package used to ship survives as the *MatVec reference methods,
+// which validation tests and micro-benchmarks diff the fast path against.
 package fft
 
 import (
@@ -10,6 +16,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT computes the in-place forward discrete Fourier transform
@@ -65,15 +72,32 @@ func fftRadix2(x []complex128, inverse bool) {
 	}
 }
 
-// Plan holds precomputed twiddle factors and basis tables for 1-D trig
-// transforms of a fixed size N (a power of two). Plans are cheap to reuse
-// and not safe for concurrent use.
+// Plan holds precomputed twiddle factors for 1-D trig transforms of a fixed
+// size N (a power of two). A Plan is immutable after construction and safe
+// to share between goroutines through the *To methods, each caller passing
+// its own Scratch; the scratch-less convenience methods (DCT2, InvCos,
+// InvSin) reuse one plan-owned Scratch and are therefore not safe for
+// concurrent use.
 type Plan struct {
-	n       int
-	scratch []complex128
-	twiddle []complex128 // e^{-iπk/(2N)}, k = 0..N-1
-	cosTab  []float64    // cos(πk(2n+1)/(2N)) at [k*N+n]
-	sinTab  []float64    // sin(πk(2n+1)/(2N)) at [k*N+n]
+	n         int
+	twiddle   []complex128 // e^{-iπk/(2N)}, k = 0..N-1 (forward)
+	untwiddle []complex128 // e^{+iπk/(2N)}, k = 0..N-1 (inverse)
+	fwdTab    []complex128 // e^{-2πik/N}, k = 0..N/2-1: exact FFT twiddles
+	invTab    []complex128 // e^{+2πik/N}, k = 0..N/2-1
+	own       *Scratch     // scratch for the non-concurrent methods
+
+	// Dense O(N²) reference tables, built lazily by the *MatVec methods
+	// only: the production transforms never touch them.
+	refOnce sync.Once
+	cosTab  []float64 // cos(πk(2n+1)/(2N)) at [k*N+n]
+	sinTab  []float64 // sin(πk(2n+1)/(2N)) at [k*N+n]
+}
+
+// Scratch is the per-goroutine workspace of a Plan's transforms. Distinct
+// goroutines sharing one Plan must use distinct Scratches.
+type Scratch struct {
+	cbuf []complex128 // FFT staging buffer
+	fbuf []float64    // coefficient reversal buffer (InvSinTo)
 }
 
 // NewPlan builds a plan for transforms of length n (power of two).
@@ -82,21 +106,61 @@ func NewPlan(n int) *Plan {
 		panic(fmt.Sprintf("fft: plan size %d is not a positive power of two", n))
 	}
 	p := &Plan{
-		n:       n,
-		scratch: make([]complex128, n),
-		twiddle: make([]complex128, n),
-		cosTab:  make([]float64, n*n),
-		sinTab:  make([]float64, n*n),
+		n:         n,
+		twiddle:   make([]complex128, n),
+		untwiddle: make([]complex128, n),
+		fwdTab:    make([]complex128, n/2),
+		invTab:    make([]complex128, n/2),
 	}
 	for k := 0; k < n; k++ {
-		p.twiddle[k] = cmplx.Exp(complex(0, -math.Pi*float64(k)/(2*float64(n))))
-		for j := 0; j < n; j++ {
-			arg := math.Pi * float64(k) * (2*float64(j) + 1) / (2 * float64(n))
-			p.cosTab[k*n+j] = math.Cos(arg)
-			p.sinTab[k*n+j] = math.Sin(arg)
+		arg := math.Pi * float64(k) / (2 * float64(n))
+		p.twiddle[k] = cmplx.Exp(complex(0, -arg))
+		p.untwiddle[k] = cmplx.Exp(complex(0, arg))
+	}
+	for k := 0; k < n/2; k++ {
+		arg := 2 * math.Pi * float64(k) / float64(n)
+		p.fwdTab[k] = cmplx.Exp(complex(0, -arg))
+		p.invTab[k] = cmplx.Exp(complex(0, arg))
+	}
+	p.own = p.NewScratch()
+	return p
+}
+
+// fftTab is the radix-2 transform driven by a precomputed twiddle table
+// (fwdTab or invTab). Exact per-stage twiddle lookups avoid the O(N·ε)
+// drift of the w *= wBase recurrence in the table-less FFT, keeping the
+// plan's trig transforms within ~1e-14 of the dense reference, and run
+// faster than regenerating twiddles besides. No scaling is applied.
+func (p *Plan) fftTab(x []complex128, tab []complex128) {
+	n := p.n
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
 		}
 	}
-	return p
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tab[k*stride]
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// NewScratch allocates a workspace sized for this plan.
+func (p *Plan) NewScratch() *Scratch {
+	return &Scratch{
+		cbuf: make([]complex128, p.n),
+		fbuf: make([]float64, p.n),
+	}
 }
 
 // N returns the plan's transform length.
@@ -107,42 +171,159 @@ func (p *Plan) N() int { return p.n }
 //	out[k] = Σ_{n} x[n]·cos(πk(2n+1)/(2N))
 //
 // using the Makhoul even-odd permutation and a single length-N FFT.
-// x and out may alias.
-func (p *Plan) DCT2(x, out []float64) {
+// x and out may alias. Not safe for concurrent use; see DCT2To.
+func (p *Plan) DCT2(x, out []float64) { p.DCT2To(x, out, p.own) }
+
+// InvCos evaluates the cosine series
+//
+//	out[j] = Σ_{k=0}^{N-1} a[k]·cos(πk(2j+1)/(2N))
+//
+// (the caller folds any α_k normalization into a). a and out may not alias.
+// Not safe for concurrent use; see InvCosTo.
+func (p *Plan) InvCos(a, out []float64) { p.InvCosTo(a, out, p.own) }
+
+// InvSin evaluates the sine series
+//
+//	out[j] = Σ_{k=0}^{N-1} a[k]·sin(πk(2j+1)/(2N))
+//
+// (the k = 0 term is identically zero). a and out may not alias.
+// Not safe for concurrent use; see InvSinTo.
+func (p *Plan) InvSin(a, out []float64) { p.InvSinTo(a, out, p.own) }
+
+// DCT2To is DCT2 with caller-supplied scratch, safe for concurrent use with
+// a scratch per goroutine.
+func (p *Plan) DCT2To(x, out []float64, s *Scratch) {
 	n := p.n
 	if len(x) != n || len(out) != n {
 		panic("fft: DCT2 size mismatch")
 	}
 	half := n / 2
 	for i := 0; i < half; i++ {
-		p.scratch[i] = complex(x[2*i], 0)
-		p.scratch[n-1-i] = complex(x[2*i+1], 0)
+		s.cbuf[i] = complex(x[2*i], 0)
+		s.cbuf[n-1-i] = complex(x[2*i+1], 0)
 	}
 	if n == 1 {
-		p.scratch[0] = complex(x[0], 0)
+		s.cbuf[0] = complex(x[0], 0)
 	}
-	FFT(p.scratch)
+	p.fftTab(s.cbuf, p.fwdTab)
 	for k := 0; k < n; k++ {
-		out[k] = real(p.twiddle[k] * p.scratch[k])
+		out[k] = real(p.twiddle[k] * s.cbuf[k])
 	}
 }
 
-// InvCos evaluates the cosine series
+// InvCosTo is InvCos with caller-supplied scratch, safe for concurrent use
+// with a scratch per goroutine.
 //
-//	out[j] = Σ_{k=0}^{N-1} a[k]·cos(πk(2j+1)/(2N))
-//
-// (the caller folds any α_k normalization into a). x and out may not alias.
-func (p *Plan) InvCos(a, out []float64) {
-	p.matVec(p.cosTab, a, out)
+// Derivation (the Makhoul recombination run backwards): DCT2To computes
+// C[k] = Re(e^{-iπk/(2N)}·V[k]) with V the FFT of the even-odd permuted
+// input v. For real v, V has Hermitian symmetry, which pins the imaginary
+// part too: Im(e^{-iπk/(2N)}·V[k]) = -C[N-k] (with C[N] ≡ 0). The desired
+// series out[j] = Σ a[k]·cos(πk(2j+1)/(2N)) is the exact inverse of the
+// unnormalized DCT-II of the coefficients b[0] = N·a[0], b[k] = N/2·a[k],
+// so the spectrum is recovered as V[k] = e^{+iπk/(2N)}·(b[k] − i·b[N−k]),
+// one IFFT yields v, and undoing the even-odd permutation yields out —
+// O(N log N) against the O(N²) dense evaluation of InvCosMatVec.
+func (p *Plan) InvCosTo(a, out []float64, s *Scratch) {
+	n := p.n
+	if len(a) != n || len(out) != n {
+		panic("fft: transform size mismatch")
+	}
+	if n == 1 {
+		out[0] = a[0]
+		return
+	}
+	s.cbuf[0] = complex(a[0], 0)
+	for k := 1; k < n; k++ {
+		s.cbuf[k] = p.untwiddle[k] * complex(a[k]/2, -a[n-k]/2)
+	}
+	p.fftTab(s.cbuf, p.invTab)
+	for i := 0; i < n/2; i++ {
+		out[2*i] = real(s.cbuf[i])
+		out[2*i+1] = real(s.cbuf[n-1-i])
+	}
 }
 
-// InvSin evaluates the sine series
+// InvSinTo is InvSin with caller-supplied scratch, safe for concurrent use
+// with a scratch per goroutine.
 //
-//	out[j] = Σ_{k=0}^{N-1} a[k]·sin(πk(2j+1)/(2N))
-//
-// (the k = 0 term is identically zero). x and out may not alias.
-func (p *Plan) InvSin(a, out []float64) {
-	p.matVec(p.sinTab, a, out)
+// The sine series reduces to the cosine series through the identity
+// sin(πk(2j+1)/(2N)) = (−1)^j·cos(π(N−k)(2j+1)/(2N)): reversing the
+// coefficient index (ã[m] = a[N−m], ã[0] = 0 — the k = 0 term vanishes)
+// and alternating the output sign turns one InvCosTo into the sine
+// reconstruction at the same O(N log N) cost.
+func (p *Plan) InvSinTo(a, out []float64, s *Scratch) {
+	n := p.n
+	if len(a) != n || len(out) != n {
+		panic("fft: transform size mismatch")
+	}
+	s.fbuf[0] = 0
+	for m := 1; m < n; m++ {
+		s.fbuf[m] = a[n-m]
+	}
+	p.InvCosTo(s.fbuf, out, s)
+	for j := 1; j < n; j += 2 {
+		out[j] = -out[j]
+	}
+}
+
+// refTables lazily builds the dense cosine/sine basis tables backing the
+// *MatVec reference methods. Production code never calls this; only the
+// validation tests and micro-benchmarks pay the O(N²) memory.
+func (p *Plan) refTables() ([]float64, []float64) {
+	p.refOnce.Do(func() {
+		n := p.n
+		p.cosTab = make([]float64, n*n)
+		p.sinTab = make([]float64, n*n)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				// Reduce the angle index k(2j+1) mod 4N in exact integer
+				// arithmetic before converting to radians: the basis has
+				// period 4N in that index, and keeping the float64 argument
+				// below 2π avoids the ~ε·|arg| trig-argument rounding that a
+				// direct πk(2j+1)/(2N) evaluation accumulates at large N.
+				m := (k * (2*j + 1)) % (4 * n)
+				arg := math.Pi * float64(m) / (2 * float64(n))
+				p.cosTab[k*n+j] = math.Cos(arg)
+				p.sinTab[k*n+j] = math.Sin(arg)
+			}
+		}
+	})
+	return p.cosTab, p.sinTab
+}
+
+// InvCosMatVec is the dense O(N²) reference evaluation of InvCos, the
+// implementation the fast path replaced. It exists to validate and
+// benchmark InvCosTo and is safe for concurrent use after the first call.
+func (p *Plan) InvCosMatVec(a, out []float64) {
+	cosTab, _ := p.refTables()
+	p.matVec(cosTab, a, out)
+}
+
+// InvSinMatVec is the dense O(N²) reference evaluation of InvSin; see
+// InvCosMatVec.
+func (p *Plan) InvSinMatVec(a, out []float64) {
+	_, sinTab := p.refTables()
+	p.matVec(sinTab, a, out)
+}
+
+// DCT2MatVec is the dense O(N²) reference evaluation of DCT2: the forward
+// transform shares the cosine basis with InvCos, with the roles of k and j
+// swapped (out[k] = Σ_j x[j]·cos(πk(2j+1)/(2N))). x and out must not
+// alias. See InvCosMatVec for why this exists.
+func (p *Plan) DCT2MatVec(x, out []float64) {
+	cosTab, _ := p.refTables()
+	n := p.n
+	if len(x) != n || len(out) != n {
+		panic("fft: transform size mismatch")
+	}
+	for k := 0; k < n; k++ {
+		row := cosTab[k*n : (k+1)*n]
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += x[j] * row[j]
+		}
+		out[k] = sum
+	}
 }
 
 // matVec computes out[j] = Σ_k a[k]·tab[k*N+j].

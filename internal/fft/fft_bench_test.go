@@ -14,7 +14,7 @@ func benchReal(n int) []float64 {
 	return x
 }
 
-var benchNs = []int{32, 64, 256}
+var benchNs = []int{32, 64, 256, 1024}
 
 // BenchmarkFFT measures the complex radix-2 transform, the primitive under
 // every spectral operation of the Poisson solver.
@@ -36,36 +36,72 @@ func BenchmarkFFT(b *testing.B) {
 }
 
 // BenchmarkDCT2 measures the forward cosine transform of a Plan — one row
-// or column pass of the density grid's spectral decomposition.
+// or column pass of the density grid's spectral decomposition — with the
+// fast O(N log N) path (/fft) against the dense O(N²) reference (/matvec).
 func BenchmarkDCT2(b *testing.B) {
 	for _, n := range benchNs {
-		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			p := NewPlan(n)
-			x := benchReal(n)
-			out := make([]float64, n)
-			b.ResetTimer()
+		p := NewPlan(n)
+		x := benchReal(n)
+		out := make([]float64, n)
+		b.Run(fmt.Sprintf("fft/n%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p.DCT2(x, out)
+			}
+		})
+		b.Run(fmt.Sprintf("matvec/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.DCT2MatVec(x, out)
 			}
 		})
 	}
 }
 
+// BenchmarkDCT2Concurrent measures many goroutines driving one shared Plan
+// with per-goroutine Scratch — the access pattern of the parallel
+// row/column passes in density.solve. SetParallelism raises the goroutine
+// count past GOMAXPROCS to surface any hidden serialization in the Plan.
+func BenchmarkDCT2Concurrent(b *testing.B) {
+	p := NewPlan(256)
+	src := benchReal(256)
+	b.SetParallelism(4)
+	b.RunParallel(func(pb *testing.PB) {
+		s := p.NewScratch()
+		x := append([]float64(nil), src...)
+		out := make([]float64, len(x))
+		for pb.Next() {
+			p.DCT2To(x, out, s)
+		}
+	})
+}
+
 // BenchmarkInverse measures the inverse sine/cosine reconstructions used
-// to recover the potential ψ and field ξ from spectral coefficients.
+// to recover the potential ψ and field ξ from spectral coefficients, with
+// the fast O(N log N) path (/fft) against the dense O(N²) reference it
+// replaced (/matvec) — the doubling sizes make the asymptotic gap visible
+// directly in the ns/op columns.
 func BenchmarkInverse(b *testing.B) {
 	for _, n := range benchNs {
 		p := NewPlan(n)
 		a := benchReal(n)
 		out := make([]float64, n)
-		b.Run(fmt.Sprintf("cos/n%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("cos/fft/n%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p.InvCos(a, out)
 			}
 		})
-		b.Run(fmt.Sprintf("sin/n%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("cos/matvec/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.InvCosMatVec(a, out)
+			}
+		})
+		b.Run(fmt.Sprintf("sin/fft/n%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p.InvSin(a, out)
+			}
+		})
+		b.Run(fmt.Sprintf("sin/matvec/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.InvSinMatVec(a, out)
 			}
 		})
 	}

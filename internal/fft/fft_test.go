@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -187,6 +188,86 @@ func TestInvSinDerivativeConsistency(t *testing.T) {
 			want := -sinv[j] * math.Sin(2*w)
 			if math.Abs(d-want) > 1e-12 {
 				t.Fatalf("k=%d j=%d: FD %g vs -sin(ws)·sin(2w) %g", k, j, d, want)
+			}
+		}
+	}
+}
+
+// TestInverseMatchesMatVec validates the fast O(N log N) inverse
+// reconstructions against the dense O(N²) matVec reference (the
+// implementation they replaced) across every production-relevant size.
+// 1e-12 is the acceptance bound; the FFT path typically lands near 1e-14.
+func TestInverseMatchesMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 8; n <= 1024; n *= 2 {
+		p := NewPlan(n)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		fast := make([]float64, n)
+		ref := make([]float64, n)
+		p.DCT2(a, fast)
+		p.DCT2MatVec(a, ref)
+		for k := range fast {
+			if math.Abs(fast[k]-ref[k]) > 1e-12*(1+math.Abs(ref[k])) {
+				t.Fatalf("n=%d: DCT2[%d] = %.17g, matVec %.17g", n, k, fast[k], ref[k])
+			}
+		}
+		p.InvCos(a, fast)
+		p.InvCosMatVec(a, ref)
+		for j := range fast {
+			if math.Abs(fast[j]-ref[j]) > 1e-12*(1+math.Abs(ref[j])) {
+				t.Fatalf("n=%d: InvCos[%d] = %.17g, matVec %.17g", n, j, fast[j], ref[j])
+			}
+		}
+		p.InvSin(a, fast)
+		p.InvSinMatVec(a, ref)
+		for j := range fast {
+			if math.Abs(fast[j]-ref[j]) > 1e-12*(1+math.Abs(ref[j])) {
+				t.Fatalf("n=%d: InvSin[%d] = %.17g, matVec %.17g", n, j, fast[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestTransformsConcurrent exercises one shared Plan from many goroutines,
+// each with its own Scratch, and checks every result matches the
+// single-threaded evaluation (run under -race this also proves the *To
+// methods share no hidden mutable state).
+func TestTransformsConcurrent(t *testing.T) {
+	const n, workers = 64, 8
+	p := NewPlan(n)
+	inputs := make([][]float64, workers)
+	want := make([][]float64, workers)
+	rng := rand.New(rand.NewSource(7))
+	for w := range inputs {
+		inputs[w] = make([]float64, n)
+		for i := range inputs[w] {
+			inputs[w][i] = rng.NormFloat64()
+		}
+		want[w] = make([]float64, n)
+		p.InvSin(inputs[w], want[w])
+	}
+	got := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := p.NewScratch()
+			out := make([]float64, n)
+			for rep := 0; rep < 50; rep++ {
+				p.InvSinTo(inputs[w], out, s)
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := range got {
+		for j := range got[w] {
+			if got[w][j] != want[w][j] {
+				t.Fatalf("worker %d: concurrent InvSin[%d] = %g, want %g", w, j, got[w][j], want[w][j])
 			}
 		}
 	}

@@ -1,0 +1,221 @@
+// Package par provides a reusable worker pool with deterministic parallel
+// iteration primitives for the placement kernels.
+//
+// Determinism is the design constraint that shapes everything here. The
+// placement pipeline promises bit-identical results for a given seed
+// regardless of how many OS threads execute it (the CI byte-identity smoke
+// between placer and placerd depends on it, and so does cross-run QoR
+// comparison in the bench harness). Floating-point addition is not
+// associative, so "split the loop across goroutines and add into a shared
+// accumulator" would make results depend on scheduling. Instead every
+// reduction in this package follows the same discipline:
+//
+//  1. Work is split into shards whose count and boundaries depend only on
+//     the problem size — never on the worker count. ShardCount(n, grain)
+//     is a pure function of n.
+//  2. Each shard writes its partial results into shard-indexed storage
+//     (per-shard buffers, or disjoint output ranges).
+//  3. Partials are merged sequentially in shard-index order.
+//
+// Steps 1 and 3 make the summation tree a function of the input alone, so
+// a Pool with 1 worker and a Pool with 64 workers produce identical bits.
+// Step 2 keeps the parallel phase race-free without locks.
+//
+// A nil *Pool is valid everywhere and means "run inline on the calling
+// goroutine": library code can accept an optional pool without branching.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of reusable workers. The zero value is not
+// usable; call NewPool. A nil *Pool is valid for every method and runs the
+// work inline on the caller, which keeps single-threaded paths free of
+// goroutine and channel overhead.
+//
+// Pool methods are safe for concurrent use by multiple goroutines, but the
+// shard functions submitted by concurrent Run calls share the worker set,
+// so per-worker scratch handed out by worker index must not be assumed
+// exclusive across overlapping Run calls. The placement kernels serialize
+// their Run calls per solver instance, which is the intended usage.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	workCh chan func()
+	closed bool
+}
+
+// NewPool creates a pool with the given number of workers. workers <= 1
+// returns nil: the nil pool runs everything inline, so "one thread" and
+// "no pool" are the same fully sequential code path.
+func NewPool(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{
+		workers: workers,
+		workCh:  make(chan func()),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.workCh {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// NumCPU returns the worker count a default pool would use: the machine's
+// logical CPU count. Exposed so flag defaults across the binaries agree.
+func NumCPU() int { return runtime.NumCPU() }
+
+// Workers reports the concurrency the pool schedules onto. A nil pool
+// reports 1 (inline execution).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close shuts down the workers. Calls to Run after Close panic. Close is
+// idempotent and a nil pool ignores it.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.workCh)
+	}
+}
+
+// Run executes f(shard) for every shard in [0, shards) across the pool's
+// workers and returns when all have completed. Shards are claimed
+// dynamically (an atomic counter) so uneven shard costs balance across
+// workers; this is safe for determinism because shard outputs must be
+// disjoint — claiming order affects only scheduling, never results.
+//
+// A nil pool, shards <= 1, or a single worker degrades to an inline loop.
+func (p *Pool) Run(shards int, f func(shard int)) {
+	p.RunIndexed(shards, func(_, s int) { f(s) })
+}
+
+// RunIndexed is Run with a worker-slot index: f(slot, shard) with slot in
+// [0, Workers()). Within one RunIndexed call each slot is used by exactly
+// one goroutine, so the caller may hand out slot-indexed scratch without
+// locking. Which slot processes which shard is scheduling-dependent, so
+// results must depend only on shard, never on slot. Concurrent RunIndexed
+// calls reuse the same slot numbers — callers that overlap must index
+// into their own scratch arrays (one per solver instance), as the
+// placement kernels do.
+func (p *Pool) RunIndexed(shards int, f func(slot, shard int)) {
+	if p == nil || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			f(0, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	workers := p.workers
+	if workers > shards {
+		workers = shards
+	}
+	loop := func(slot int) {
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= shards {
+				return
+			}
+			f(slot, s)
+		}
+	}
+	var done sync.WaitGroup
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: Run on closed Pool")
+	}
+	for i := 1; i < workers; i++ {
+		slot := i
+		done.Add(1)
+		p.workCh <- func() {
+			defer done.Done()
+			loop(slot)
+		}
+	}
+	p.mu.Unlock()
+	// The caller's goroutine participates as slot 0 so a pool of W
+	// workers drives W-way parallelism without idling the caller.
+	loop(0)
+	done.Wait()
+}
+
+// ShardCount returns the number of shards to split n items into given a
+// minimum grain size per shard. It is a pure function of the problem size
+// (never of worker count or GOMAXPROCS) so that shard boundaries — and
+// therefore floating-point merge order — are identical on every machine
+// and at every thread count. The result is capped at MaxShards, which
+// bounds per-shard buffer memory while leaving enough slack for dynamic
+// load balancing on any realistic core count.
+func ShardCount(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	s := (n + grain - 1) / grain
+	if s < 1 {
+		s = 1
+	}
+	if s > MaxShards {
+		s = MaxShards
+	}
+	return s
+}
+
+// MaxShards caps ShardCount. Fixed (not derived from the machine) so shard
+// partitioning is portable; 64 shards load-balance well up to tens of
+// cores while keeping per-shard partial buffers affordable.
+const MaxShards = 64
+
+// ShardRange returns the half-open index range [lo, hi) owned by shard s
+// of `shards` over n items. Ranges are contiguous, disjoint, cover [0, n),
+// and depend only on (n, shards) — the fixed partition that deterministic
+// in-order merges rely on. Sizes differ by at most one item.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ForShards splits n items into ShardCount(n, grain) shards and runs
+// body(shard, lo, hi) for each on the pool. It is the main entry point for
+// kernels: body writes shard-local partials, and the caller merges them in
+// shard order afterwards (or body's output ranges are disjoint and no
+// merge is needed). The shard geometry is identical for every pool,
+// including nil.
+func (p *Pool) ForShards(n, grain int, body func(shard, lo, hi int)) int {
+	shards := ShardCount(n, grain)
+	p.Run(shards, func(s int) {
+		lo, hi := ShardRange(n, shards, s)
+		body(s, lo, hi)
+	})
+	return shards
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/nlopt"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/wl"
 )
 
@@ -49,6 +50,12 @@ type Options struct {
 	// record per density epoch (objective, exact HPWL, density weight β,
 	// symmetry penalty). Nil costs one pointer check.
 	Tracer *obs.Tracer
+
+	// Pool, when non-nil, parallelizes the wirelength-gradient kernel.
+	// Results are bit-identical to a nil Pool at any worker count
+	// (deterministic sharding; see internal/par). The caller owns the
+	// pool's lifetime.
+	Pool *par.Pool
 }
 
 func (o *Options) defaults() {
@@ -117,7 +124,7 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 	bell := density.NewBell(opt.GridM, region, 1.0)
 	binW := side / float64(opt.GridM)
 
-	wlEv := wl.NewEvaluator(n, wl.LSE, 4*binW)
+	wlEv := wl.NewEvaluatorPool(n, wl.LSE, 4*binW, opt.Pool)
 
 	rng := rand.New(rand.NewSource(opt.Seed))
 	p := circuit.NewPlacement(n)

@@ -69,6 +69,10 @@ type SubmitRequest struct {
 	AreaWeight float64 `json:"area_weight,omitempty"`
 	Mu         float64 `json:"mu,omitempty"`
 	Portfolio  int     `json:"portfolio,omitempty"`
+	// Threads overrides the per-job kernel worker count (0 = the
+	// manager's configured default). Placement bits are identical at
+	// every value; only runtime changes.
+	Threads int `json:"threads,omitempty"`
 }
 
 // JobSpec is a validated submission: the resolved netlist and method plus
@@ -107,6 +111,7 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 		AreaWeight: spec.Req.AreaWeight,
 		Mu:         spec.Req.Mu,
 		Portfolio:  spec.Req.Portfolio,
+		Threads:    spec.Req.Threads,
 		Tracer:     tracer,
 	}
 	res, err := core.PlaceCtx(ctx, spec.Netlist, spec.Method, opt)
@@ -210,6 +215,11 @@ type Config struct {
 	// DefaultTimeout caps jobs whose request sets no timeout_sec (0 = no
 	// limit).
 	DefaultTimeout time.Duration
+	// Threads is the default per-job kernel worker count applied to
+	// requests that don't set their own (0 leaves the request's zero in
+	// place, which core resolves to runtime.NumCPU()). Placement bits do
+	// not depend on it.
+	Threads int
 	// Runner executes jobs (default DefaultRunner).
 	Runner Runner
 }
@@ -275,6 +285,12 @@ func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
 	}
 	if req.TimeoutSec < 0 {
 		return nil, fmt.Errorf("service: negative timeout_sec %g", req.TimeoutSec)
+	}
+	if req.Threads < 0 {
+		return nil, fmt.Errorf("service: negative threads %d", req.Threads)
+	}
+	if req.Threads == 0 {
+		req.Threads = m.cfg.Threads
 	}
 	var n *circuit.Netlist
 	switch {

@@ -63,6 +63,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad circuit", SubmitRequest{Circuit: "NoSuch"}, "unknown circuit"},
 		{"bad netlist", SubmitRequest{Netlist: []byte(`{"name":"x","devices":[],"nets":[]}`)}, "no devices"},
 		{"negative timeout", SubmitRequest{Circuit: "Adder", TimeoutSec: -1}, "negative timeout"},
+		{"negative threads", SubmitRequest{Circuit: "Adder", Threads: -2}, "negative threads"},
 	}
 	for _, tc := range cases {
 		_, err := m.Submit(tc.req)
@@ -76,6 +77,27 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if got := m.Metrics().JobsRejected; got != int64(len(cases)) {
 		t.Errorf("rejected counter %d, want %d", got, len(cases))
+	}
+}
+
+// TestThreadsDefaultFill checks the manager's configured default thread
+// count fills zero-valued requests while explicit values pass through.
+func TestThreadsDefaultFill(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueCap: 2, Threads: 3})
+	defer drain(t, m)
+	spec, err := m.validate(SubmitRequest{Circuit: "Adder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Req.Threads != 3 {
+		t.Errorf("default fill: threads %d, want 3", spec.Req.Threads)
+	}
+	spec, err = m.validate(SubmitRequest{Circuit: "Adder", Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Req.Threads != 1 {
+		t.Errorf("explicit: threads %d, want 1", spec.Req.Threads)
 	}
 }
 

@@ -236,3 +236,22 @@ func TestDegenerateSinglePointNet(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalAllocationFree pins the documented contract: an Evaluator from
+// the pool-less constructor does all its work in construction-time scratch,
+// so the per-iteration Eval allocates nothing.
+func TestEvalAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, p := randomNetlist(rng, 80, 120)
+	for _, kind := range []Smoother{WA, LSE} {
+		ev := NewEvaluator(n, kind, 1.0)
+		gx := make([]float64, n.NumDevices())
+		gy := make([]float64, n.NumDevices())
+		allocs := testing.AllocsPerRun(10, func() {
+			sinkF = ev.Eval(p, gx, gy)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: Eval allocates %.0f objects per call, want 0", kind, allocs)
+		}
+	}
+}
