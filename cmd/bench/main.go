@@ -48,16 +48,17 @@ func main() {
 		rtTol    = flag.Float64("runtime-tol", 0, "allowed runtime factor vs baseline (default 1.5)")
 		qorTol   = flag.Float64("qor-tol", 0, "allowed QoR factor vs baseline (default 1.01)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		traceDir = flag.String("trace-dir", "", "write one JSONL convergence trace per case and method here (analyzed by cmd/trace)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress lines")
 	)
 	flag.Parse()
-	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline,
+	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline, *traceDir,
 		*reps, *warmup, *threads, *seed, *quick, *rtTol, *qorTol, *timeout, *quiet); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(suite, sizes, netlists, methods, label, outDir, baseline string,
+func run(suite, sizes, netlists, methods, label, outDir, baseline, traceDir string,
 	reps, warmup, threads int, seed int64, quick bool, rtTol, qorTol float64,
 	timeout time.Duration, quiet bool) error {
 
@@ -67,11 +68,17 @@ func run(suite, sizes, netlists, methods, label, outDir, baseline string,
 	}
 
 	opt := bench.Options{
-		Reps:    reps,
-		Warmup:  warmup,
-		Seed:    seed,
-		Quick:   quick,
-		Threads: threads,
+		Reps:     reps,
+		Warmup:   warmup,
+		Seed:     seed,
+		Quick:    quick,
+		Threads:  threads,
+		TraceDir: traceDir,
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
 	}
 	if methods != "" {
 		for _, f := range strings.Split(methods, ",") {

@@ -7,9 +7,15 @@
 // graceful drain: new submissions are refused, running jobs finish (up to
 // -drain-timeout), and a second signal aborts the stragglers.
 //
+// Profiling: -pprof-addr starts a second HTTP listener serving only
+// net/http/pprof (/debug/pprof/...). It is off by default and deliberately a
+// separate listener so the profiling surface is never exposed on the public
+// service port; bind it to localhost and use `go tool pprof
+// http://localhost:6060/debug/pprof/profile` against a running daemon.
+//
 // Usage:
 //
-//	placerd [-addr :8080] [-workers N] [-queue N] [-job-timeout D]
+//	placerd [-addr :8080] [-workers N] [-queue N] [-job-timeout D] [-pprof-addr localhost:6060]
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,8 +46,30 @@ func main() {
 	maxBody := flag.Int64("max-body", service.DefaultMaxBody, "request body size limit in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when the request sets none (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown waits for running jobs")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof profiling endpoint (empty = disabled; bind to localhost)")
 	verbose := flag.Bool("v", false, "log every job submission and completion")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			// An explicit mux (not DefaultServeMux) so the profiling
+			// listener serves pprof and nothing else.
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
 
 	mgr := service.NewManager(service.Config{
 		Workers:        *workers,

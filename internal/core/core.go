@@ -29,6 +29,7 @@ import (
 	"repro/internal/eplacea"
 	"repro/internal/gnn"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/prevwork"
@@ -50,6 +51,20 @@ func (m Method) String() string {
 		return "simulated-annealing"
 	case MethodPrev:
 		return "prev-analytical[11]"
+	default:
+		return "eplace-a"
+	}
+}
+
+// ShortName returns the short method name used by the CLI flags, the
+// placement service, and metric labels ("sa", "prev", "eplace-a") — the
+// inverse of ParseMethod.
+func (m Method) ShortName() string {
+	switch m {
+	case MethodSA:
+		return "sa"
+	case MethodPrev:
+		return "prev"
 	default:
 		return "eplace-a"
 	}
@@ -117,6 +132,15 @@ type Options struct {
 	// already carry a Pool keep it.
 	Threads int
 
+	// Metrics, when non-nil, receives production aggregates for the run:
+	// per-kernel duration histograms (placer_kernel_seconds, labeled by
+	// method, circuit-size class, and kernel) and parallel-shard skew from
+	// the worker pool (par_run_seconds, par_shard_skew_ratio). Like the
+	// tracer it is observation-only — metered runs are byte-identical to
+	// unmetered ones at the same seed — and nil costs a pointer check.
+	// Per-stage overrides that already carry a Metrics registry keep it.
+	Metrics *metrics.Registry
+
 	// Advanced per-stage overrides (optional).
 	GP   *eplacea.Options
 	Prev *prevwork.Options
@@ -170,6 +194,21 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 	// Either way the placement bits are independent of the choice.
 	pool := par.NewPool(threads)
 	defer pool.Close()
+	metricLabels := []string{"method", method.ShortName(), "size", metrics.SizeClass(len(n.Devices))}
+	if opt.Metrics != nil && pool != nil {
+		wallH := opt.Metrics.Histogram("par_run_seconds",
+			"Wall time of one parallel kernel dispatch (internal/par Run).",
+			metrics.KernelBuckets, metricLabels...)
+		skewH := opt.Metrics.Histogram("par_shard_skew_ratio",
+			"Per-Run shard timing skew, (max-min)/max shard duration; persistent skew means a kernel's grain is mis-sized.",
+			skewBuckets, metricLabels...)
+		pool.SetTimingFunc(func(rt par.RunTiming) {
+			wallH.Observe(rt.Wall.Seconds())
+			if rt.MaxShard > 0 {
+				skewH.Observe(float64(rt.MaxShard-rt.MinShard) / float64(rt.MaxShard))
+			}
+		})
+	}
 	res := &Result{Method: method}
 	switch method {
 	case MethodSA:
@@ -215,6 +254,10 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 		if gpOpt.Pool == nil {
 			gpOpt.Pool = pool
 		}
+		if gpOpt.Metrics == nil {
+			gpOpt.Metrics = opt.Metrics
+			gpOpt.MetricsLabels = metricLabels
+		}
 		gp, err := prevwork.PlaceExtraCtx(ctx, n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
 		if err != nil {
 			return nil, err
@@ -254,6 +297,10 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 		}
 		if baseGP.Pool == nil {
 			baseGP.Pool = pool
+		}
+		if baseGP.Metrics == nil {
+			baseGP.Metrics = opt.Metrics
+			baseGP.MetricsLabels = metricLabels
 		}
 		dpOpt := detailed.Options{Mode: detailed.ModeIntegratedILP, Mu: opt.Mu}
 		if opt.DP != nil {
@@ -387,6 +434,11 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 	}
 	return res, nil
 }
+
+// skewBuckets spans the shard-skew ratio (max-min)/max in [0, 1): healthy
+// kernels sit in the first few buckets, a shard starving its siblings lands
+// near 1.
+var skewBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
 
 // perfExtra adapts a PerfTerm into the analytical GP extra-objective hook,
 // and propagates its weight into the GP's calibrated ExtraWeight.

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs/metrics"
+	"repro/internal/testcircuits"
+)
+
+func TestShortNameRoundTrips(t *testing.T) {
+	for _, m := range []Method{MethodSA, MethodPrev, MethodEPlaceA} {
+		got, err := ParseMethod(m.ShortName())
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", m.ShortName(), err)
+		}
+		if got != m {
+			t.Errorf("ParseMethod(%v.ShortName()) = %v", m, got)
+		}
+	}
+}
+
+// TestMeteringIsObservationOnly checks a metered run and an unmetered run at
+// the same seed produce identical placements — the metrics registry, like
+// the tracer, must never perturb the optimization — and that the analytical
+// methods actually feed the kernel histograms.
+func TestMeteringIsObservationOnly(t *testing.T) {
+	c, err := testcircuits.ByName("Adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodSA, MethodPrev, MethodEPlaceA} {
+		plain, err := Place(c.Netlist, m, Options{Seed: 3, SA: fastSA(3)})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		reg := metrics.New()
+		metered, err := Place(c.Netlist, m, Options{Seed: 3, SA: fastSA(3), Metrics: reg})
+		if err != nil {
+			t.Fatalf("%v metered: %v", m, err)
+		}
+		for i := range plain.Placement.X {
+			if plain.Placement.X[i] != metered.Placement.X[i] || plain.Placement.Y[i] != metered.Placement.Y[i] {
+				t.Errorf("%v: device %d moved under metering: (%g,%g) vs (%g,%g)", m, i,
+					plain.Placement.X[i], plain.Placement.Y[i],
+					metered.Placement.X[i], metered.Placement.Y[i])
+				break
+			}
+		}
+
+		var out strings.Builder
+		if err := reg.WritePrometheus(&out); err != nil {
+			t.Fatalf("%v: WritePrometheus: %v", m, err)
+		}
+		text := out.String()
+		if m == MethodSA {
+			// SA has no GP kernels; nothing must have been registered.
+			if strings.Contains(text, "placer_kernel_seconds") {
+				t.Errorf("%v: unexpected kernel series:\n%s", m, text)
+			}
+			continue
+		}
+		wl := metrics.KernelHistogram(reg, []string{"method", m.ShortName(), "size", metrics.SizeClass(len(c.Netlist.Devices))}, "wl_grad")
+		if wl.Count() == 0 {
+			t.Errorf("%v: wl_grad histogram never observed; exposition:\n%s", m, text)
+		}
+		if !strings.Contains(text, `placer_kernel_seconds_bucket{method="`+m.ShortName()+`"`) {
+			t.Errorf("%v: no kernel bucket series in exposition:\n%s", m, text)
+		}
+	}
+}

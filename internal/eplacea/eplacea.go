@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/nlopt"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/par"
 	"repro/internal/wl"
 )
@@ -82,6 +83,17 @@ type Options struct {
 	// are bit-identical to a nil Pool at any worker count (deterministic
 	// sharding; see internal/par). The caller owns the pool's lifetime.
 	Pool *par.Pool
+
+	// Metrics, when non-nil, receives per-call duration histograms for
+	// the GP hot-path kernels (placer_kernel_seconds: wl_grad,
+	// density_raster, poisson_solve, field_sample), labeled with
+	// MetricsLabels plus a "kernel" label. Like the tracer, metering is
+	// observation-only and costs one pointer check when off.
+	Metrics *metrics.Registry
+	// MetricsLabels are constant key, value pairs stamped on every kernel
+	// series; every caller of one registry must pass the same key set
+	// (core passes method and circuit-size class).
+	MetricsLabels []string
 }
 
 func (o *Options) defaults() {
@@ -174,6 +186,13 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra E
 	}
 	wlEv := wl.NewEvaluatorPool(n, smoother, 4*binW, opt.Pool)
 	areaEv := wl.NewAreaEvaluator(n, 4*binW)
+	if opt.Metrics != nil {
+		grid.SetTimers(
+			metrics.KernelHistogram(opt.Metrics, opt.MetricsLabels, "density_raster"),
+			metrics.KernelHistogram(opt.Metrics, opt.MetricsLabels, "poisson_solve"),
+			metrics.KernelHistogram(opt.Metrics, opt.MetricsLabels, "field_sample"))
+		wlEv.SetTimer(metrics.KernelHistogram(opt.Metrics, opt.MetricsLabels, "wl_grad"))
+	}
 
 	// Initial placement: devices gathered at the region center with a small
 	// deterministic jitter (the standard ePlace start).

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, then one
+// sample line per series — histograms expand into cumulative _bucket
+// series (le labels, ending at +Inf) plus _sum and _count. Families are
+// sorted by name and series by label values, so identical registry state
+// renders identical bytes. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.typ {
+			case typeHistogram:
+				writeHistogram(bw, f, s)
+			default:
+				writeSample(bw, f.name, "", f.keys, s.labelVals, "", math.Float64frombits(s.val.Load()))
+			}
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets, sum,
+// count. Bucket counts are loaded once so the three derived views agree
+// even while observations race the scrape.
+func writeHistogram(bw *bufio.Writer, f *family, s *series) {
+	var cum uint64
+	for i, ub := range f.buckets {
+		cum += s.counts[i].Load()
+		writeSample(bw, f.name, "_bucket", f.keys, s.labelVals, formatLe(ub), float64(cum))
+	}
+	cum += s.inf.Load()
+	writeSample(bw, f.name, "_bucket", f.keys, s.labelVals, "+Inf", float64(cum))
+	writeSample(bw, f.name, "_sum", f.keys, s.labelVals, "", math.Float64frombits(s.sum.Load()))
+	writeSample(bw, f.name, "_count", f.keys, s.labelVals, "", float64(cum))
+}
+
+// writeSample renders one line: name[suffix]{labels,le} value.
+func writeSample(bw *bufio.Writer, name, suffix string, keys, vals []string, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(keys) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(k)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(vals[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(keys) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with integers staying integral.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLe renders a bucket bound; bounds are config constants, so the
+// shortest representation is stable across scrapes.
+func formatLe(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a fixed-size set of reusable workers. The zero value is not
@@ -43,10 +44,39 @@ import (
 // their Run calls per solver instance, which is the intended usage.
 type Pool struct {
 	workers int
+	timing  func(RunTiming) // optional per-Run timing observer
 
 	mu     sync.Mutex
 	workCh chan func()
 	closed bool
+}
+
+// RunTiming is one parallel Run's timing breakdown, reported to the
+// observer installed with SetTimingFunc. MaxShard−MinShard (or the ratio
+// against Wall) measures shard skew: how unevenly the deterministic shard
+// geometry split the actual work. Persistent skew on a kernel means its
+// grain constant is mis-sized for the workload.
+type RunTiming struct {
+	Shards   int           // shards executed
+	Workers  int           // worker slots that participated
+	Wall     time.Duration // whole Run call, including the merge barrier
+	MinShard time.Duration // fastest single shard
+	MaxShard time.Duration // slowest single shard
+	SumShard time.Duration // total shard CPU time (≈ Wall × utilization × workers)
+}
+
+// SetTimingFunc installs an observer called once per parallel Run with the
+// run's timing breakdown. Timing is observation-only — it never changes
+// shard geometry or merge order, so result bits are unaffected — but each
+// shard pays two clock reads, so it is skipped entirely (single pointer
+// check) when f is nil. Install before the first Run; the field is read
+// without synchronization. Inline runs (nil pool, or one shard) are not
+// reported: there is no skew to measure. A nil pool ignores the call.
+func (p *Pool) SetTimingFunc(f func(RunTiming)) {
+	if p == nil {
+		return
+	}
+	p.timing = f
 }
 
 // NewPool creates a pool with the given number of workers. workers <= 1
@@ -128,13 +158,26 @@ func (p *Pool) RunIndexed(shards int, f func(slot, shard int)) {
 	if workers > shards {
 		workers = shards
 	}
+	timing := p.timing
+	var start time.Time
+	var slotStats []slotTiming
+	if timing != nil {
+		start = time.Now()
+		slotStats = make([]slotTiming, workers)
+	}
 	loop := func(slot int) {
 		for {
 			s := int(next.Add(1)) - 1
 			if s >= shards {
 				return
 			}
+			if timing == nil {
+				f(slot, s)
+				continue
+			}
+			t0 := time.Now()
 			f(slot, s)
+			slotStats[slot].observe(time.Since(t0))
 		}
 	}
 	var done sync.WaitGroup
@@ -156,6 +199,42 @@ func (p *Pool) RunIndexed(shards int, f func(slot, shard int)) {
 	// workers drives W-way parallelism without idling the caller.
 	loop(0)
 	done.Wait()
+	if timing != nil {
+		t := RunTiming{Shards: shards, Workers: workers, Wall: time.Since(start)}
+		for _, st := range slotStats {
+			if st.count == 0 {
+				continue
+			}
+			t.SumShard += st.sum
+			if t.MinShard == 0 || st.min < t.MinShard {
+				t.MinShard = st.min
+			}
+			if st.max > t.MaxShard {
+				t.MaxShard = st.max
+			}
+		}
+		timing(t)
+	}
+}
+
+// slotTiming accumulates one worker slot's shard durations; slots are
+// exclusive within a Run, so no synchronization is needed until the final
+// sequential merge.
+type slotTiming struct {
+	count    int
+	sum      time.Duration
+	min, max time.Duration
+}
+
+func (s *slotTiming) observe(d time.Duration) {
+	s.count++
+	s.sum += d
+	if s.count == 1 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
 }
 
 // ShardCount returns the number of shards to split n items into given a

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNewPoolSmallIsNil(t *testing.T) {
@@ -177,5 +178,58 @@ func TestRunAfterClosePanics(t *testing.T) {
 			t.Error("Run on closed pool did not panic")
 		}
 	}()
+	p.Run(4, func(int) {})
+}
+
+func TestTimingObserver(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var timings []RunTiming
+	p.SetTimingFunc(func(rt RunTiming) { timings = append(timings, rt) })
+
+	const shards = 12
+	var ran atomic.Int64
+	p.Run(shards, func(s int) {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+	})
+	if got := ran.Load(); got != shards {
+		t.Fatalf("ran %d shards, want %d", got, shards)
+	}
+	if len(timings) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(timings))
+	}
+	rt := timings[0]
+	if rt.Shards != shards || rt.Workers != 4 {
+		t.Errorf("timing %+v: want Shards=%d Workers=4", rt, shards)
+	}
+	if rt.MinShard <= 0 || rt.MaxShard < rt.MinShard || rt.SumShard < rt.MaxShard || rt.Wall <= 0 {
+		t.Errorf("inconsistent timing %+v", rt)
+	}
+
+	// Inline runs (one shard) are not reported.
+	p.Run(1, func(int) {})
+	if len(timings) != 1 {
+		t.Errorf("single-shard run reported timing: %d calls", len(timings))
+	}
+
+	// Timing must not change what executes: same shard set either way.
+	var seen sync.Mutex
+	got := map[int]bool{}
+	p.Run(7, func(s int) {
+		seen.Lock()
+		got[s] = true
+		seen.Unlock()
+	})
+	for s := 0; s < 7; s++ {
+		if !got[s] {
+			t.Errorf("shard %d not executed under timing", s)
+		}
+	}
+}
+
+func TestTimingNilPoolIgnored(t *testing.T) {
+	var p *Pool
+	p.SetTimingFunc(func(RunTiming) { t.Error("nil pool reported timing") })
 	p.Run(4, func(int) {})
 }

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// outcomeRunner keys the job outcome on the request seed: 1 succeeds, 2
+// fails, 3 blocks until canceled. Every run opens a "place" span so the
+// manager's SpanSink has something to observe.
+func outcomeRunner() Runner {
+	return func(ctx context.Context, spec *JobSpec, trc *obs.Tracer) (*JobResult, error) {
+		sp := trc.StartSpan("place")
+		defer sp.End()
+		switch spec.Req.Seed {
+		case 2:
+			return nil, errors.New("synthetic solver failure")
+		case 3:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &JobResult{Legal: true, Placement: []byte("{}")}, nil
+	}
+}
+
+// TestPrometheusScrapeMixedWorkload drives one job to each terminal state
+// plus a rejected submission, then scrapes /metrics?format=prometheus and
+// checks the exposition carries the latency histograms split into
+// queue-wait and solve-time, outcome and rejection counters, and the live
+// queue gauges — while the JSON /metrics keeps its existing shape.
+func TestPrometheusScrapeMixedWorkload(t *testing.T) {
+	m, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, Runner: outcomeRunner()})
+
+	waitState(t, submitAdder(t, m, 1), StateDone)
+	waitState(t, submitAdder(t, m, 2), StateFailed)
+	blocked := submitAdder(t, m, 3)
+	for blocked.Status().StartedAt == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(blocked.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocked, StateCanceled)
+	if _, err := m.Submit(SubmitRequest{Circuit: "Adder", Method: "quantum"}); err == nil {
+		t.Fatal("invalid method accepted")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`# TYPE placerd_job_queue_wait_seconds histogram`,
+		`placerd_job_queue_wait_seconds_bucket{method="sa",le="+Inf"} 3`,
+		`# TYPE placerd_job_solve_seconds histogram`,
+		`placerd_job_solve_seconds_count{method="sa",size="xs"} 3`,
+		`placerd_stage_seconds_bucket{method="sa",size="xs",stage="place",le="+Inf"} 3`,
+		`placerd_jobs_total{state="done"} 1`,
+		`placerd_jobs_total{state="failed"} 1`,
+		`placerd_jobs_total{state="canceled"} 1`,
+		`placerd_jobs_rejected_total{reason="invalid"} 1`,
+		`placerd_workers 1`,
+		`placerd_queue_depth 0`,
+		`placerd_running_jobs 0`,
+		`placerd_worker_utilization 0`,
+		`# TYPE placerd_uptime_seconds gauge`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// The JSON view must keep working unchanged next to the new format.
+	jresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("JSON /metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{`"jobs_completed": 1`, `"jobs_failed": 1`, `"jobs_canceled": 1`} {
+		if !strings.Contains(string(jbody), want) {
+			t.Errorf("JSON metrics missing %q:\n%s", want, jbody)
+		}
+	}
+}
+
+// TestQueueWaitInStatus checks the acceptance-to-start latency is exposed
+// in the job status JSON once a job starts.
+func TestQueueWaitInStatus(t *testing.T) {
+	entered := make(chan string, 1)
+	release := make(chan struct{})
+	m := NewManager(Config{Workers: 1, QueueCap: 4, Runner: blockingRunner(entered, release)})
+	defer drain(t, m)
+	j := submitAdder(t, m, 1)
+	if st := j.Status(); st.QueueWaitSec != nil {
+		t.Errorf("queued job already has queue_wait_sec %v", *st.QueueWaitSec)
+	}
+	<-entered
+	st := j.Status()
+	if st.QueueWaitSec == nil || *st.QueueWaitSec < 0 {
+		t.Fatalf("running job queue_wait_sec = %v, want >= 0", st.QueueWaitSec)
+	}
+	close(release)
+	waitState(t, j, StateDone)
+	if st := j.Status(); st.QueueWaitSec == nil {
+		t.Error("finished job lost queue_wait_sec")
+	}
+}
+
+// TestGaugeRollupEnvelope checks the finalize rollup keeps every job's
+// gauge contribution (min/max/count), not just the last writer's value.
+func TestGaugeRollupEnvelope(t *testing.T) {
+	gaugeRunner := func(ctx context.Context, spec *JobSpec, trc *obs.Tracer) (*JobResult, error) {
+		trc.Gauge("place.final_hpwl", float64(10*spec.Req.Seed))
+		return &JobResult{Legal: true, Placement: []byte("{}")}, nil
+	}
+	m := NewManager(Config{Workers: 1, QueueCap: 8, Runner: gaugeRunner})
+	defer drain(t, m)
+	for _, seed := range []int64{3, 1, 2} {
+		waitState(t, submitAdder(t, m, seed), StateDone)
+	}
+	met := m.Metrics()
+	st, ok := met.SolverGaugeStats["place.final_hpwl"]
+	if !ok {
+		t.Fatalf("no gauge stats; metrics %+v", met)
+	}
+	want := GaugeAgg{Last: 20, Min: 10, Max: 30, Count: 3}
+	if st != want {
+		t.Errorf("gauge envelope = %+v, want %+v", st, want)
+	}
+	if got := met.SolverGauges["place.final_hpwl"]; got != 20 {
+		t.Errorf("legacy last-value gauge = %g, want 20", got)
+	}
+}

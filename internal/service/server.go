@@ -24,6 +24,7 @@ const DefaultMaxBody = 8 << 20
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness + queue occupancy
 //	GET    /metrics             service counters + solver telemetry rollup
+//	                            (?format=prometheus for text exposition)
 type Server struct {
 	m       *Manager
 	maxBody int64
@@ -197,6 +198,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the JSON rollup by default; ?format=prometheus
+// switches to the Prometheus text exposition (the JSON shape predates it
+// and existing consumers keep working unchanged).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.m.WritePrometheus(w) // header already sent; nothing useful to do on error
+		return
+	}
 	writeJSON(w, http.StatusOK, s.m.Metrics())
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netio"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 )
 
 // State is a job's lifecycle position.
@@ -81,6 +83,12 @@ type JobSpec struct {
 	Netlist *circuit.Netlist
 	Method  core.Method
 	Req     SubmitRequest
+
+	// Metrics is the manager's process-wide registry, set on acceptance so
+	// DefaultRunner can thread it into core.Options without changing the
+	// Runner signature. Nil (e.g. in tests constructing specs by hand) is
+	// fine: metering is then off for the run.
+	Metrics *metrics.Registry
 }
 
 // JobResult is the payload of a completed job. Placement holds the exact
@@ -113,6 +121,7 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 		Portfolio:  spec.Req.Portfolio,
 		Threads:    spec.Req.Threads,
 		Tracer:     tracer,
+		Metrics:    spec.Metrics,
 	}
 	res, err := core.PlaceCtx(ctx, spec.Netlist, spec.Method, opt)
 	if err != nil {
@@ -175,9 +184,14 @@ type Status struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	Events      int        `json:"events"`
-	Error       string     `json:"error,omitempty"`
-	Result      *JobResult `json:"result,omitempty"`
+	// QueueWaitSec is acceptance-to-start latency, present once the job has
+	// started. Queue wait and solve time are separate dimensions: a slow
+	// response to a client can be a saturated queue or a slow solve, and
+	// conflating them misdiagnoses capacity problems.
+	QueueWaitSec *float64   `json:"queue_wait_sec,omitempty"`
+	Events       int        `json:"events"`
+	Error        string     `json:"error,omitempty"`
+	Result       *JobResult `json:"result,omitempty"`
 }
 
 // Status snapshots the job.
@@ -198,6 +212,8 @@ func (j *Job) Status() Status {
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
+		w := j.started.Sub(j.submitted).Seconds()
+		st.QueueWaitSec = &w
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
@@ -244,7 +260,25 @@ type Manager struct {
 	// Solver telemetry rolled up from finished jobs' tracers.
 	aggCounters map[string]float64
 	aggGauges   map[string]float64
+	aggGaugeAgg map[string]GaugeAgg
 	aggSpans    map[string]obs.SpanStat
+
+	// reg is the process-wide Prometheus-style registry: job latency
+	// histograms, rejection counters, and (set at scrape time) queue and
+	// worker gauges. Jobs feed it their kernel timings via JobSpec.Metrics
+	// and their stage spans via a per-job SpanSink.
+	reg *metrics.Registry
+}
+
+// GaugeAgg aggregates one solver gauge across finished jobs. Gauges are
+// point-in-time values, so unlike counters they cannot be summed; the
+// rollup keeps the last value plus the min/max envelope and how many jobs
+// reported it.
+type GaugeAgg struct {
+	Last  float64 `json:"last"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Count int64   `json:"count"`
 }
 
 // NewManager starts the worker pool and returns the manager.
@@ -265,7 +299,9 @@ func NewManager(cfg Config) *Manager {
 		jobs:        map[string]*Job{},
 		aggCounters: map[string]float64{},
 		aggGauges:   map[string]float64{},
+		aggGaugeAgg: map[string]GaugeAgg{},
 		aggSpans:    map[string]obs.SpanStat{},
+		reg:         metrics.New(),
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -322,13 +358,16 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		m.mu.Lock()
 		m.rejected++
 		m.mu.Unlock()
+		m.rejectedCounter("invalid").Inc()
 		return nil, err
 	}
+	spec.Metrics = m.reg
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		m.rejected++
+		m.rejectedCounter("draining").Inc()
 		return nil, ErrDraining
 	}
 	m.seq++
@@ -340,18 +379,30 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	job.trc = obs.New(job.sink)
+	// The SpanSink rides alongside the streaming sink: the same span events
+	// that clients tail over /events also feed per-stage latency histograms.
+	job.trc = obs.New(job.sink, metrics.NewSpanSink(m.reg, "placerd_stage_seconds",
+		"method", spec.Req.Method, "size", metrics.SizeClass(len(spec.Netlist.Devices))))
 	select {
 	case m.queue <- job:
 	default:
 		m.seq-- // slot not taken; reuse the ID
 		m.rejected++
+		m.rejectedCounter("queue_full").Inc()
 		return nil, ErrQueueFull
 	}
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.submitted++
 	return job, nil
+}
+
+// rejectedCounter resolves the per-reason rejection counter. Reasons are a
+// closed set: invalid, queue_full, draining.
+func (m *Manager) rejectedCounter(reason string) *metrics.Counter {
+	return m.reg.Counter("placerd_jobs_rejected_total",
+		"Submissions rejected before being accepted, by reason.",
+		"reason", reason)
 }
 
 // Get returns a job by ID.
@@ -433,10 +484,14 @@ func (m *Manager) runJob(job *Job) {
 	job.started = time.Now()
 	job.cancelRun = cancel
 	canceledEarly := job.canceled
+	queueWait := job.started.Sub(job.submitted)
 	job.mu.Unlock()
 	if canceledEarly {
 		cancel() // Cancel raced between queue pop and cancelRun being set
 	}
+	m.reg.Histogram("placerd_job_queue_wait_seconds",
+		"Time a job spent queued: acceptance to start of execution.",
+		metrics.DefBuckets, "method", job.spec.Req.Method).Observe(queueWait.Seconds())
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
@@ -447,6 +502,11 @@ func (m *Manager) runJob(job *Job) {
 
 	job.mu.Lock()
 	job.finished = time.Now()
+	m.reg.Histogram("placerd_job_solve_seconds",
+		"Job execution wall time, queue wait excluded.",
+		metrics.DefBuckets, "method", job.spec.Req.Method,
+		"size", metrics.SizeClass(len(job.spec.Netlist.Devices))).
+		Observe(job.finished.Sub(job.started).Seconds())
 	job.cancelRun = nil
 	var final State
 	switch {
@@ -470,6 +530,9 @@ func (m *Manager) runJob(job *Job) {
 // into the aggregate /metrics view.
 func (m *Manager) finalize(job *Job, final State) {
 	sum := job.trc.Summary()
+	m.reg.Counter("placerd_jobs_total",
+		"Jobs that reached a terminal state, by outcome.",
+		"state", string(final)).Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if final != StateCanceled || !job.started.IsZero() {
@@ -490,7 +553,20 @@ func (m *Manager) finalize(job *Job, final State) {
 		m.aggCounters[k] += v
 	}
 	for k, v := range sum.Gauges {
+		// Keep both views: the legacy last-value map (stable JSON shape)
+		// and the min/max envelope — a plain `map[k] = v` here was
+		// last-writer-wins, hiding every job's gauge but the most recent.
 		m.aggGauges[k] = v
+		st := m.aggGaugeAgg[k]
+		if st.Count == 0 || v < st.Min {
+			st.Min = v
+		}
+		if st.Count == 0 || v > st.Max {
+			st.Max = v
+		}
+		st.Last = v
+		st.Count++
+		m.aggGaugeAgg[k] = st
 	}
 	for k, v := range sum.Spans {
 		st := m.aggSpans[k]
@@ -556,6 +632,9 @@ type Metrics struct {
 	SolverCounters map[string]float64      `json:"solver_counters,omitempty"`
 	SolverGauges   map[string]float64      `json:"solver_gauges,omitempty"`
 	SolverSpans    map[string]obs.SpanStat `json:"solver_spans,omitempty"`
+	// SolverGaugeStats is the per-gauge envelope across finished jobs;
+	// SolverGauges keeps only each gauge's most recent value.
+	SolverGaugeStats map[string]GaugeAgg `json:"solver_gauge_stats,omitempty"`
 }
 
 // Metrics snapshots the manager.
@@ -587,7 +666,45 @@ func (m *Manager) Metrics() Metrics {
 	for k, v := range m.aggSpans {
 		out.SolverSpans[k] = v
 	}
+	if len(m.aggGaugeAgg) > 0 {
+		out.SolverGaugeStats = map[string]GaugeAgg{}
+		for k, v := range m.aggGaugeAgg {
+			out.SolverGaugeStats[k] = v
+		}
+	}
 	return out
+}
+
+// Registry exposes the manager's metrics registry (for tests and embedding
+// servers that want to register their own series).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// WritePrometheus renders the Prometheus text view: the queue and worker
+// gauges are refreshed from live manager state at scrape time, then the
+// whole registry — job latency histograms, per-stage and per-kernel solver
+// histograms, rejection counters — is written in deterministic order.
+func (m *Manager) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	depth, qcap := len(m.queue), m.cfg.QueueCap
+	running, workers := m.running, m.cfg.Workers
+	draining := m.draining
+	uptime := time.Since(m.started).Seconds()
+	m.mu.Unlock()
+
+	g := func(name, help string, v float64) { m.reg.Gauge(name, help).Set(v) }
+	g("placerd_queue_depth", "Jobs waiting in the bounded FIFO queue.", float64(depth))
+	g("placerd_queue_cap", "Capacity of the job queue.", float64(qcap))
+	g("placerd_running_jobs", "Jobs currently executing.", float64(running))
+	g("placerd_workers", "Size of the worker pool.", float64(workers))
+	g("placerd_worker_utilization", "Fraction of workers busy, running/workers.",
+		float64(running)/float64(workers))
+	d := 0.0
+	if draining {
+		d = 1
+	}
+	g("placerd_draining", "1 once shutdown has begun and intake is closed.", d)
+	g("placerd_uptime_seconds", "Seconds since the manager started.", uptime)
+	return m.reg.WritePrometheus(w)
 }
 
 // Draining reports whether shutdown has begun.
