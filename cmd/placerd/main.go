@@ -2,10 +2,17 @@
 // JSON to /v1/jobs, poll job status, stream per-iteration solver telemetry
 // as NDJSON, and fetch the finished placement (byte-identical to what
 // cmd/placer writes for the same netlist, method, and seed). Jobs run on a
-// bounded worker pool fed by a bounded FIFO queue, so the daemon sheds load
-// with 429s instead of collapsing under it. SIGINT/SIGTERM triggers a
-// graceful drain: new submissions are refused, running jobs finish (up to
-// -drain-timeout), and a second signal aborts the stragglers.
+// bounded worker pool fed by a multi-tenant fair scheduler: submissions
+// carry a tenant and a priority class (interactive before batch), tenants
+// within a class share the workers by inverse-circuit-size weighted fair
+// queuing, and per-tenant quotas (-tenant-quota) plus the global queue
+// bound (-queue) shed overload with structured 429s instead of collapsing
+// under it. Completed placements are kept in a content-addressed result
+// cache (-cache-bytes): determinism makes them perfectly reusable, so an
+// identical resubmission returns byte-identical results without a solve.
+// SIGINT/SIGTERM triggers a graceful drain: new submissions are refused,
+// running jobs finish (up to -drain-timeout), and a second signal aborts
+// the stragglers.
 //
 // Profiling: -pprof-addr starts a second HTTP listener serving only
 // net/http/pprof (/debug/pprof/...). It is off by default and deliberately a
@@ -41,8 +48,10 @@ func main() {
 	log.SetPrefix("placerd: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "solver worker pool size")
-	threads := flag.Int("threads", runtime.NumCPU(), "default per-job kernel worker threads (requests may override; results are bit-identical at any count)")
+	threads := flag.Int("threads", runtime.NumCPU(), "size of the shared kernel worker pool all jobs run on (requests pinning an explicit threads count get a private pool; results are bit-identical at any count)")
 	queueCap := flag.Int("queue", 64, "queued-job capacity; beyond it submissions get 429")
+	tenantQuota := flag.Int("tenant-quota", 0, "max in-flight jobs (queued+running) per tenant; beyond it that tenant's submissions get 429 (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "content-addressed result cache size in bytes, LRU-evicted (0 = caching off)")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBody, "request body size limit in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline when the request sets none (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a graceful shutdown waits for running jobs")
@@ -74,6 +83,8 @@ func main() {
 	mgr := service.NewManager(service.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
+		TenantQuota:    *tenantQuota,
+		CacheBytes:     *cacheBytes,
 		DefaultTimeout: *jobTimeout,
 		Threads:        *threads,
 	})
@@ -84,7 +95,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("serving on %s (%d workers, queue capacity %d)", ln.Addr(), mgr.Metrics().Workers, *queueCap)
+	quotaDesc := "unlimited"
+	if *tenantQuota > 0 {
+		quotaDesc = fmt.Sprintf("%d", *tenantQuota)
+	}
+	cacheDesc := "off"
+	if *cacheBytes > 0 {
+		cacheDesc = fmt.Sprintf("%d MiB", *cacheBytes>>20)
+	}
+	log.Printf("serving on %s (%d workers, queue capacity %d, tenant quota %s, result cache %s)",
+		ln.Addr(), mgr.Metrics().Workers, *queueCap, quotaDesc, cacheDesc)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

@@ -132,6 +132,16 @@ type Options struct {
 	// already carry a Pool keep it.
 	Threads int
 
+	// Pool, when non-nil, is a caller-owned worker pool used instead of
+	// creating one per call: a long-running service sizes one pool to the
+	// machine and shares it across every concurrent placement (par.Pool
+	// supports concurrent Run calls). The flow neither closes a caller
+	// pool nor installs its timing observer on it — lifecycle and
+	// observation stay with the owner — and Threads is ignored while Pool
+	// is set. Placement bits are identical either way: deterministic
+	// sharding keys off the problem size, not the pool.
+	Pool *par.Pool
+
 	// Metrics, when non-nil, receives production aggregates for the run:
 	// per-kernel duration histograms (placer_kernel_seconds, labeled by
 	// method, circuit-size class, and kernel) and parallel-shard skew from
@@ -186,28 +196,24 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 	start := time.Now()
 	placeSpan := opt.Tracer.StartSpan("place")
 	defer placeSpan.End()
-	threads := opt.Threads
-	if threads == 0 {
-		threads = par.NumCPU()
+	pool := opt.Pool
+	ownPool := pool == nil
+	if ownPool {
+		threads := opt.Threads
+		if threads == 0 {
+			threads = par.NumCPU()
+		}
+		// NewPool returns nil for threads <= 1: the kernels then run inline.
+		// Either way the placement bits are independent of the choice.
+		pool = par.NewPool(threads)
+		defer pool.Close()
 	}
-	// NewPool returns nil for threads <= 1: the kernels then run inline.
-	// Either way the placement bits are independent of the choice.
-	pool := par.NewPool(threads)
-	defer pool.Close()
 	metricLabels := []string{"method", method.ShortName(), "size", metrics.SizeClass(len(n.Devices))}
-	if opt.Metrics != nil && pool != nil {
-		wallH := opt.Metrics.Histogram("par_run_seconds",
-			"Wall time of one parallel kernel dispatch (internal/par Run).",
-			metrics.KernelBuckets, metricLabels...)
-		skewH := opt.Metrics.Histogram("par_shard_skew_ratio",
-			"Per-Run shard timing skew, (max-min)/max shard duration; persistent skew means a kernel's grain is mis-sized.",
-			skewBuckets, metricLabels...)
-		pool.SetTimingFunc(func(rt par.RunTiming) {
-			wallH.Observe(rt.Wall.Seconds())
-			if rt.MaxShard > 0 {
-				skewH.Observe(float64(rt.MaxShard-rt.MinShard) / float64(rt.MaxShard))
-			}
-		})
+	// The timing observer is installed only on pools this call created:
+	// SetTimingFunc is an install-before-first-Run API, so a shared pool's
+	// observer belongs to its owner, not to an individual placement.
+	if opt.Metrics != nil && ownPool {
+		InstallPoolMetrics(pool, opt.Metrics, method.ShortName(), metrics.SizeClass(len(n.Devices)))
 	}
 	res := &Result{Method: method}
 	switch method {
@@ -439,6 +445,33 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 // kernels sit in the first few buckets, a shard starving its siblings lands
 // near 1.
 var skewBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+
+// InstallPoolMetrics installs the par kernel-timing observer on a pool,
+// feeding the same par_run_seconds / par_shard_skew_ratio families PlaceCtx
+// meters on pools it creates itself. It is for owners of shared pools
+// (Options.Pool): call once, before the pool's first Run, per
+// par.SetTimingFunc's contract. A pool serving every method and circuit
+// size at once conventionally labels with method="all", size="all" —
+// per-run attribution is impossible on a shared pool, the aggregate view
+// is the point. Nil pool or registry is a no-op.
+func InstallPoolMetrics(pool *par.Pool, reg *metrics.Registry, method, size string) {
+	if pool == nil || reg == nil {
+		return
+	}
+	labels := []string{"method", method, "size", size}
+	wallH := reg.Histogram("par_run_seconds",
+		"Wall time of one parallel kernel dispatch (internal/par Run).",
+		metrics.KernelBuckets, labels...)
+	skewH := reg.Histogram("par_shard_skew_ratio",
+		"Per-Run shard timing skew, (max-min)/max shard duration; persistent skew means a kernel's grain is mis-sized.",
+		skewBuckets, labels...)
+	pool.SetTimingFunc(func(rt par.RunTiming) {
+		wallH.Observe(rt.Wall.Seconds())
+		if rt.MaxShard > 0 {
+			skewH.Observe(float64(rt.MaxShard-rt.MinShard) / float64(rt.MaxShard))
+		}
+	})
+}
 
 // perfExtra adapts a PerfTerm into the analytical GP extra-objective hook,
 // and propagates its weight into the GP's calibrated ExtraWeight.

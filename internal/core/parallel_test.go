@@ -154,6 +154,91 @@ func TestThreadCountByteIdentity(t *testing.T) {
 	}
 }
 
+// TestSharedPoolByteIdentity covers the service configuration: one
+// caller-owned pool handed to several concurrent placements via
+// Options.Pool. Every result must be byte-identical to the Threads-based
+// run of the same config — sharing the pool may change scheduling, never
+// bits — and the caller's pool must remain usable afterwards (the flow
+// must not close it).
+func TestSharedPoolByteIdentity(t *testing.T) {
+	n, err := gen.Generate(gen.Params{Devices: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(res *Result) []byte {
+		var buf bytes.Buffer
+		if err := n.WritePlacementJSON(&buf, res.Placement); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	baseOpt := func(seed int64) Options {
+		return Options{
+			Seed:      seed,
+			SA:        fastSA(seed),
+			Portfolio: 1,
+			GP:        &eplacea.Options{MaxIter: 60},
+			Prev:      &prevwork.Options{Epochs: 3, ItersPerEpoch: 25},
+		}
+	}
+	methods := []Method{MethodSA, MethodPrev, MethodEPlaceA}
+	if raceEnabled {
+		// eplace-a's sequential integrated-ILP detailed stage is ~10x
+		// slower under the race detector; its pooled kernels are covered by
+		// TestThreadCountByteIdentity's GP-only variant.
+		methods = methods[:2]
+	}
+
+	want := make([][]byte, len(methods))
+	for i, m := range methods {
+		opt := baseOpt(21)
+		opt.Threads = 4
+		res, err := Place(n, m, opt)
+		if err != nil {
+			t.Fatalf("%v threads=4: %v", m, err)
+		}
+		want[i] = render(res)
+	}
+
+	pool := par.NewPool(4)
+	defer pool.Close()
+	got := make([][]byte, len(methods))
+	errs := make([]error, len(methods))
+	var wg sync.WaitGroup
+	for i, m := range methods {
+		wg.Add(1)
+		go func(i int, m Method) {
+			defer wg.Done()
+			opt := baseOpt(21)
+			opt.Pool = pool
+			opt.Threads = 1 // must be ignored while Pool is set
+			res, err := PlaceCtx(context.Background(), n, m, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = render(res)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, m := range methods {
+		if errs[i] != nil {
+			t.Fatalf("%v shared pool: %v", m, errs[i])
+		}
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("%v: shared-pool placement differs from threads=4 run", m)
+		}
+	}
+	// The pool must still work after the flows return.
+	marks := make([]int, 8)
+	pool.Run(len(marks), func(shard int) { marks[shard] = shard + 1 })
+	for j, v := range marks {
+		if v != j+1 {
+			t.Fatalf("pool unusable after shared placements (mark %d = %d)", j, v)
+		}
+	}
+}
+
 // TestPlaceCtxPreCanceled checks every method refuses an already-canceled
 // context without producing a partial placement.
 func TestPlaceCtxPreCanceled(t *testing.T) {

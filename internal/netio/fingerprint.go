@@ -1,0 +1,176 @@
+package netio
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/circuit"
+)
+
+// WriteCanonical writes a canonical serialization of n: a line-oriented
+// text form whose bytes are independent of the order in which devices,
+// nets, and constraint groups were listed in the source document. Two
+// netlists describing the same circuit — same named devices with the same
+// geometry, the same electrical connectivity, the same constraint set —
+// produce identical canonical bytes no matter how their JSON was arranged.
+//
+// Canonicalization rules:
+//
+//   - Devices are sorted by name; pins within a device are sorted by
+//     (name, offset). Device names are assumed unique (the JSON loader
+//     enforces this).
+//   - Nets are rendered with their pin references resolved to
+//     "device.pin" names and sorted (a net is electrically a set of
+//     pins), then the net lines themselves are sorted.
+//   - Symmetry pairs and alignment pairs are symmetric relations, so each
+//     pair is sorted internally; pair lists and group lines are sorted.
+//   - Horizontal-order groups keep their internal order (left-to-right
+//     sequence is semantic) but the group list is sorted.
+//   - Floats are rendered as the hex of their IEEE-754 bits — exact, with
+//     no formatting ambiguity.
+//
+// The canonical form is the foundation of the result cache's content
+// addressing (see Fingerprint), and is independently useful for diffing
+// or deduplicating netlists across files.
+func WriteCanonical(w io.Writer, n *circuit.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "canon/v1 netlist %q\n", n.Name)
+
+	// Devices, sorted by name; pins sorted by (name, offset bits).
+	devOrder := make([]int, len(n.Devices))
+	for i := range devOrder {
+		devOrder[i] = i
+	}
+	sort.Slice(devOrder, func(a, b int) bool {
+		return n.Devices[devOrder[a]].Name < n.Devices[devOrder[b]].Name
+	})
+	for _, di := range devOrder {
+		d := &n.Devices[di]
+		fmt.Fprintf(bw, "device %q %s %s %s\n", d.Name, d.Type, fbits(d.W), fbits(d.H))
+		pins := make([]string, len(d.Pins))
+		for pi, p := range d.Pins {
+			pins[pi] = fmt.Sprintf(" pin %q %s %s\n", p.Name, fbits(p.Offset.X), fbits(p.Offset.Y))
+		}
+		sort.Strings(pins)
+		for _, line := range pins {
+			bw.WriteString(line)
+		}
+	}
+
+	pinName := func(pr circuit.PinRef) string {
+		d := &n.Devices[pr.Device]
+		return fmt.Sprintf("%q.%q", d.Name, d.Pins[pr.Pin].Name)
+	}
+	devName := func(i int) string { return strconv.Quote(n.Devices[i].Name) }
+	sortedPair := func(a, b int) string {
+		na, nb := devName(a), devName(b)
+		if nb < na {
+			na, nb = nb, na
+		}
+		return na + "|" + nb
+	}
+
+	// Nets: pin sets sorted within each net, net lines sorted.
+	netLines := make([]string, len(n.Nets))
+	for e := range n.Nets {
+		net := &n.Nets[e]
+		refs := make([]string, len(net.Pins))
+		for i, pr := range net.Pins {
+			refs[i] = pinName(pr)
+		}
+		sort.Strings(refs)
+		line := fmt.Sprintf("net %q %s", net.Name, fbits(net.Weight))
+		for _, r := range refs {
+			line += " " + r
+		}
+		netLines[e] = line + "\n"
+	}
+	sort.Strings(netLines)
+	for _, line := range netLines {
+		bw.WriteString(line)
+	}
+
+	// Symmetry groups: pairs sorted (internally and as a list), self list
+	// sorted, group lines sorted.
+	symLines := make([]string, len(n.SymGroups))
+	for gi := range n.SymGroups {
+		g := &n.SymGroups[gi]
+		pairs := make([]string, len(g.Pairs))
+		for i, pr := range g.Pairs {
+			pairs[i] = sortedPair(pr[0], pr[1])
+		}
+		sort.Strings(pairs)
+		self := make([]string, len(g.Self))
+		for i, r := range g.Self {
+			self[i] = devName(r)
+		}
+		sort.Strings(self)
+		line := "sym pairs"
+		for _, p := range pairs {
+			line += " " + p
+		}
+		line += " self"
+		for _, s := range self {
+			line += " " + s
+		}
+		symLines[gi] = line + "\n"
+	}
+	sort.Strings(symLines)
+	for _, line := range symLines {
+		bw.WriteString(line)
+	}
+
+	writePairs := func(kind string, pairs [][2]int) {
+		lines := make([]string, len(pairs))
+		for i, pr := range pairs {
+			lines[i] = kind + " " + sortedPair(pr[0], pr[1]) + "\n"
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			bw.WriteString(line)
+		}
+	}
+	writePairs("balign", n.BottomAlign)
+	writePairs("vcalign", n.VCenterAlign)
+
+	// Horizontal orders: internal order is semantic and preserved; the
+	// list of groups is not, and is sorted.
+	ordLines := make([]string, len(n.HOrders))
+	for oi, grp := range n.HOrders {
+		line := "horder"
+		for _, d := range grp {
+			line += " " + devName(d)
+		}
+		ordLines[oi] = line + "\n"
+	}
+	sort.Strings(ordLines)
+	for _, line := range ordLines {
+		bw.WriteString(line)
+	}
+	return bw.Flush()
+}
+
+// Fingerprint returns the SHA-256 of the canonical serialization: a
+// content address for the circuit that is stable under reordering of
+// devices, nets, pin lists, and constraint groups in the source document.
+// It is the netlist component of the placement service's result-cache key
+// (see internal/rescache).
+func Fingerprint(n *circuit.Netlist) [32]byte {
+	h := sha256.New()
+	// sha256.Write never fails, so WriteCanonical cannot either.
+	WriteCanonical(h, n)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// fbits renders a float64 as the hex of its IEEE-754 bit pattern: exact,
+// unambiguous, and canonical (no shortest-representation subtleties).
+func fbits(f float64) string {
+	return strconv.FormatUint(math.Float64bits(f), 16)
+}

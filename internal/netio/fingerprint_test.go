@@ -1,0 +1,180 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/testcircuits"
+)
+
+// fpNetlist builds a small netlist exercising every constraint class.
+func fpNetlist() *circuit.Netlist {
+	dev := func(name string) circuit.Device {
+		return circuit.Device{
+			Name: name, Type: circuit.NMOS, W: 4, H: 3,
+			Pins: []circuit.Pin{
+				{Name: "g", Offset: geom.Point{X: 1, Y: 1}},
+				{Name: "d", Offset: geom.Point{X: 3, Y: 2}},
+			},
+		}
+	}
+	n := &circuit.Netlist{
+		Name:    "fp-test",
+		Devices: []circuit.Device{dev("M1"), dev("M2"), dev("M3"), dev("M4")},
+		Nets: []circuit.Net{
+			{Name: "a", Weight: 2, Pins: []circuit.PinRef{{Device: 0, Pin: 0}, {Device: 1, Pin: 1}}},
+			{Name: "b", Pins: []circuit.PinRef{{Device: 2, Pin: 0}, {Device: 3, Pin: 0}, {Device: 0, Pin: 1}}},
+		},
+		SymGroups: []circuit.SymmetryGroup{
+			{Pairs: [][2]int{{0, 1}}, Self: []int{2}},
+		},
+		BottomAlign:  [][2]int{{0, 1}, {2, 3}},
+		VCenterAlign: [][2]int{{1, 3}},
+		HOrders:      [][]int{{0, 1, 2}},
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// reorder returns a semantically identical netlist with devices, nets,
+// within-net pins, constraint pairs, and group lists permuted.
+func reorder(n *circuit.Netlist) *circuit.Netlist {
+	// New device order: reversed. Device index i maps to newIdx[i].
+	perm := make([]int, len(n.Devices))
+	devs := make([]circuit.Device, len(n.Devices))
+	for i := range n.Devices {
+		j := len(n.Devices) - 1 - i
+		devs[j] = n.Devices[i]
+		perm[i] = j
+	}
+	remapRef := func(pr circuit.PinRef) circuit.PinRef {
+		return circuit.PinRef{Device: perm[pr.Device], Pin: pr.Pin}
+	}
+	out := &circuit.Netlist{Name: n.Name, Devices: devs}
+	// Nets reversed, and each net's pin list reversed.
+	for e := len(n.Nets) - 1; e >= 0; e-- {
+		src := n.Nets[e]
+		net := circuit.Net{Name: src.Name, Weight: src.Weight}
+		for i := len(src.Pins) - 1; i >= 0; i-- {
+			net.Pins = append(net.Pins, remapRef(src.Pins[i]))
+		}
+		out.Nets = append(out.Nets, net)
+	}
+	for _, g := range n.SymGroups {
+		ng := circuit.SymmetryGroup{}
+		for i := len(g.Pairs) - 1; i >= 0; i-- {
+			// Swap the pair's internal order too: mirroring is symmetric.
+			ng.Pairs = append(ng.Pairs, [2]int{perm[g.Pairs[i][1]], perm[g.Pairs[i][0]]})
+		}
+		for i := len(g.Self) - 1; i >= 0; i-- {
+			ng.Self = append(ng.Self, perm[g.Self[i]])
+		}
+		out.SymGroups = append(out.SymGroups, ng)
+	}
+	for i := len(n.BottomAlign) - 1; i >= 0; i-- {
+		pr := n.BottomAlign[i]
+		out.BottomAlign = append(out.BottomAlign, [2]int{perm[pr[1]], perm[pr[0]]})
+	}
+	for _, pr := range n.VCenterAlign {
+		out.VCenterAlign = append(out.VCenterAlign, [2]int{perm[pr[1]], perm[pr[0]]})
+	}
+	// Horizontal order is semantic: remap indices but keep the sequence.
+	for _, grp := range n.HOrders {
+		ng := make([]int, len(grp))
+		for i, d := range grp {
+			ng[i] = perm[d]
+		}
+		out.HOrders = append(out.HOrders, ng)
+	}
+	return out
+}
+
+func TestFingerprintStableUnderReordering(t *testing.T) {
+	n := fpNetlist()
+	m := reorder(n)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("reordered netlist invalid: %v", err)
+	}
+	var cn, cm bytes.Buffer
+	if err := WriteCanonical(&cn, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCanonical(&cm, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cn.Bytes(), cm.Bytes()) {
+		t.Errorf("canonical forms differ under reordering:\n--- original\n%s\n--- reordered\n%s", cn.Bytes(), cm.Bytes())
+	}
+	if Fingerprint(n) != Fingerprint(m) {
+		t.Error("fingerprints differ under reordering")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(fpNetlist())
+	mutations := []struct {
+		name string
+		mut  func(n *circuit.Netlist)
+	}{
+		{"netlist name", func(n *circuit.Netlist) { n.Name = "other" }},
+		{"device size", func(n *circuit.Netlist) { n.Devices[3].W = 5 }},
+		{"pin offset", func(n *circuit.Netlist) { n.Devices[0].Pins[0].Offset.X = 2 }},
+		{"net weight", func(n *circuit.Netlist) { n.Nets[0].Weight = 3 }},
+		{"net membership", func(n *circuit.Netlist) { n.Nets[1].Pins[0].Device = 1 }},
+		{"symmetry pair", func(n *circuit.Netlist) { n.SymGroups[0].Pairs[0] = [2]int{2, 3}; n.SymGroups[0].Self = nil }},
+		{"drop align pair", func(n *circuit.Netlist) { n.BottomAlign = n.BottomAlign[:1] }},
+		{"order sequence", func(n *circuit.Netlist) { n.HOrders[0][0], n.HOrders[0][1] = n.HOrders[0][1], n.HOrders[0][0] }},
+	}
+	for _, tc := range mutations {
+		n := fpNetlist()
+		tc.mut(n)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: mutated netlist invalid: %v", tc.name, err)
+		}
+		if Fingerprint(n) == base {
+			t.Errorf("%s: fingerprint unchanged by mutation", tc.name)
+		}
+	}
+}
+
+// TestFingerprintRealCircuits pins that fingerprinting is deterministic
+// across repeated computation on the built-in and generated circuits, and
+// that distinct circuits get distinct fingerprints.
+func TestFingerprintRealCircuits(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, name := range []string{"Adder", "CC-OTA"} {
+		c, err := testcircuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := Fingerprint(c.Netlist)
+		if fp != Fingerprint(c.Netlist) {
+			t.Errorf("%s: fingerprint not deterministic", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+	g, err := gen.Generate(gen.Params{Devices: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint(g)
+	if _, dup := seen[fp]; dup {
+		t.Error("generated circuit collides with a built-in")
+	}
+	// Same generator spec reproduces the same circuit, hence fingerprint.
+	g2, err := gen.Generate(gen.Params{Devices: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(g2) != fp {
+		t.Error("same-spec generated circuits fingerprint differently")
+	}
+}

@@ -67,7 +67,7 @@ func TestPrometheusScrapeMixedWorkload(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		`# TYPE placerd_job_queue_wait_seconds histogram`,
-		`placerd_job_queue_wait_seconds_bucket{method="sa",le="+Inf"} 3`,
+		`placerd_job_queue_wait_seconds_bucket{method="sa",priority="interactive",le="+Inf"} 3`,
 		`# TYPE placerd_job_solve_seconds histogram`,
 		`placerd_job_solve_seconds_count{method="sa",size="xs"} 3`,
 		`placerd_stage_seconds_bucket{method="sa",size="xs",stage="place",le="+Inf"} 3`,

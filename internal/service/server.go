@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/sched"
 )
 
 // DefaultMaxBody is the request-size limit for POST /v1/jobs (netlists of
@@ -60,7 +62,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// errorBody is the structured JSON error payload. Reason is a stable
+// machine-readable slug on submit rejections (invalid, queue_full,
+// tenant_quota, draining); RetryAfterSec mirrors the Retry-After header on
+// backpressure responses so clients parsing only the body still back off.
+type errorBody struct {
+	Error         string `json:"error"`
+	Reason        string `json:"reason,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -79,15 +92,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.m.Submit(req)
 	switch {
+	case errors.Is(err, ErrTenantQuota):
+		// The tenant's own backlog is the bottleneck: give in-flight jobs a
+		// moment to finish before the client retries.
+		var quota *sched.QuotaError
+		body := errorBody{Error: err.Error(), Reason: "tenant_quota", RetryAfterSec: 2}
+		if errors.As(err, &quota) {
+			body.Tenant = quota.Tenant
+		}
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusTooManyRequests, body)
+		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeJSON(w, http.StatusTooManyRequests,
+			errorBody{Error: err.Error(), Reason: "queue_full", RetryAfterSec: 1})
 		return
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: err.Error(), Reason: "draining"})
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: err.Error(), Reason: "invalid"})
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())

@@ -1,6 +1,7 @@
 // Package service implements placement-as-a-service: a job manager with a
-// bounded FIFO queue and a configurable worker pool, wrapped by the
-// HTTP/JSON API that cmd/placerd serves.
+// multi-tenant fair scheduler (internal/sched), a content-addressed result
+// cache (internal/rescache), and a configurable worker pool, wrapped by
+// the HTTP/JSON API that cmd/placerd serves.
 //
 // A job moves queued → running → done/failed/canceled. Each job owns an
 // obs.Tracer backed by an obs.StreamSink, so per-iteration solver telemetry
@@ -9,6 +10,24 @@
 // core.PlaceCtx; a canceled job never reports a partial placement, so a
 // completed service placement is byte-identical to the cmd/placer output
 // for the same netlist, method, and seed.
+//
+// Scheduling: submissions carry a tenant and a priority class. Interactive
+// jobs run before batch jobs; within a class, tenants share the workers by
+// weighted fair queuing with weight proportional to inverse circuit size,
+// so one tenant's burst of large circuits cannot starve another's stream
+// of small ones. Per-tenant in-flight quotas turn overload into explicit
+// 429 backpressure instead of unbounded queueing.
+//
+// Caching: because placements are deterministic — bit-identical at any
+// thread count — a completed result is stored under the SHA-256 of its
+// canonical netlist fingerprint plus the result-affecting knobs, and an
+// identical resubmission is served from the cache byte-for-byte without
+// touching the solvers.
+//
+// Kernel parallelism: the manager owns one machine-sized par.Pool shared
+// by all workers (core.Options.Pool) instead of each placement building
+// and tearing down its own; requests that pin an explicit thread count
+// keep the private per-job pool.
 package service
 
 import (
@@ -18,7 +37,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +48,9 @@ import (
 	"repro/internal/netio"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
+	"repro/internal/par"
+	"repro/internal/rescache"
+	"repro/internal/sched"
 )
 
 // State is a job's lifecycle position.
@@ -51,6 +75,10 @@ var (
 	// ErrQueueFull is returned when the bounded job queue is at capacity
 	// (HTTP 429).
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrTenantQuota is returned when the submitting tenant is at its
+	// in-flight quota (HTTP 429). The wrapped sched.QuotaError carries the
+	// tenant and limits.
+	ErrTenantQuota = errors.New("service: tenant at quota")
 	// ErrDraining is returned once shutdown has begun (HTTP 503).
 	ErrDraining = errors.New("service: server is draining")
 )
@@ -71,10 +99,18 @@ type SubmitRequest struct {
 	AreaWeight float64 `json:"area_weight,omitempty"`
 	Mu         float64 `json:"mu,omitempty"`
 	Portfolio  int     `json:"portfolio,omitempty"`
-	// Threads overrides the per-job kernel worker count (0 = the
-	// manager's configured default). Placement bits are identical at
-	// every value; only runtime changes.
+	// Threads overrides the per-job kernel worker count. Placement bits
+	// are identical at every value; only runtime changes. 0 (the default)
+	// runs the job on the manager's shared machine-sized pool; an explicit
+	// positive value gives the job a private pool of that size.
 	Threads int `json:"threads,omitempty"`
+
+	// Tenant identifies the submitting client for fair scheduling and
+	// quota accounting. Empty means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the scheduling class: "interactive" (the default)
+	// or "batch". Interactive jobs are served before batch jobs.
+	Priority string `json:"priority,omitempty"`
 }
 
 // JobSpec is a validated submission: the resolved netlist and method plus
@@ -84,11 +120,20 @@ type JobSpec struct {
 	Method  core.Method
 	Req     SubmitRequest
 
+	// Priority is the parsed scheduling class from Req.Priority.
+	Priority sched.Priority
+
 	// Metrics is the manager's process-wide registry, set on acceptance so
 	// DefaultRunner can thread it into core.Options without changing the
 	// Runner signature. Nil (e.g. in tests constructing specs by hand) is
 	// fine: metering is then off for the run.
 	Metrics *metrics.Registry
+
+	// Pool, when non-nil, is the manager's shared kernel worker pool,
+	// handed to core.Options.Pool so placements skip per-call pool setup.
+	// Requests pinning an explicit thread count leave it nil and get a
+	// private pool sized by Req.Threads.
+	Pool *par.Pool
 }
 
 // JobResult is the payload of a completed job. Placement holds the exact
@@ -103,6 +148,10 @@ type JobResult struct {
 	ILPNodes     int             `json:"ilp_nodes,omitempty"`
 	SAProposals  int             `json:"sa_proposals,omitempty"`
 	Placement    json.RawMessage `json:"placement"`
+	// Cached marks a result served from the content-addressed cache: the
+	// placement bytes (and quality numbers) are those of the original
+	// solve; no solver ran for this job.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Runner executes one validated job. The default is DefaultRunner; tests
@@ -120,6 +169,7 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 		Mu:         spec.Req.Mu,
 		Portfolio:  spec.Req.Portfolio,
 		Threads:    spec.Req.Threads,
+		Pool:       spec.Pool,
 		Tracer:     tracer,
 		Metrics:    spec.Metrics,
 	}
@@ -149,6 +199,12 @@ type Job struct {
 	spec JobSpec
 	sink *obs.StreamSink
 	trc  *obs.Tracer
+
+	// item is the job's scheduler entry; cacheKey addresses its result in
+	// the content cache when hasKey is set. Both are fixed at acceptance.
+	item     *sched.Item
+	cacheKey rescache.Key
+	hasKey   bool
 
 	mu        sync.Mutex
 	state     State
@@ -181,6 +237,8 @@ type Status struct {
 	Method      string     `json:"method"`
 	Circuit     string     `json:"circuit"`
 	Seed        int64      `json:"seed"`
+	Tenant      string     `json:"tenant"`
+	Priority    string     `json:"priority"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -204,6 +262,8 @@ func (j *Job) Status() Status {
 		Method:      j.spec.Req.Method,
 		Circuit:     j.spec.Netlist.Name,
 		Seed:        j.spec.Req.Seed,
+		Tenant:      j.spec.Req.Tenant,
+		Priority:    j.spec.Priority.String(),
 		SubmittedAt: j.submitted,
 		Events:      j.sink.Len(),
 		Error:       j.err,
@@ -226,24 +286,35 @@ func (j *Job) Status() Status {
 type Config struct {
 	// Workers is the worker-pool size (default runtime.NumCPU()).
 	Workers int
-	// QueueCap bounds the FIFO queue of not-yet-running jobs (default 64).
+	// QueueCap bounds the queue of not-yet-running jobs (default 64).
 	QueueCap int
+	// TenantQuota bounds each tenant's in-flight jobs — queued plus
+	// running. 0 means unlimited. Submissions beyond it are rejected with
+	// ErrTenantQuota (HTTP 429).
+	TenantQuota int
+	// CacheBytes bounds the content-addressed result cache (total stored
+	// result bytes, LRU-evicted). 0 disables caching.
+	CacheBytes int64
 	// DefaultTimeout caps jobs whose request sets no timeout_sec (0 = no
 	// limit).
 	DefaultTimeout time.Duration
-	// Threads is the default per-job kernel worker count applied to
-	// requests that don't set their own (0 leaves the request's zero in
-	// place, which core resolves to runtime.NumCPU()). Placement bits do
-	// not depend on it.
+	// Threads sizes the manager's shared kernel worker pool and fills
+	// zero-valued request thread counts (0 sizes the pool to
+	// runtime.NumCPU(); 1 disables the shared pool, running kernels
+	// inline). Placement bits do not depend on it.
 	Threads int
 	// Runner executes jobs (default DefaultRunner).
 	Runner Runner
 }
 
-// Manager owns the job table, the bounded queue, and the worker pool.
+// Manager owns the job table, the fair scheduler, the result cache, the
+// shared kernel pool, and the worker pool.
 type Manager struct {
 	cfg     Config
-	queue   chan *Job
+	sched   *sched.Queue
+	cache   *rescache.Cache // nil when caching is disabled
+	pool    *par.Pool       // shared kernel pool; nil runs kernels inline
+	poolEnd sync.Once       // closes pool after the last worker exits
 	wg      sync.WaitGroup
 	started time.Time
 
@@ -256,6 +327,7 @@ type Manager struct {
 
 	// Cumulative service counters.
 	submitted, rejected, completed, failed, canceledN int64
+	cacheHits, cacheMisses, solverRuns                int64
 
 	// Solver telemetry rolled up from finished jobs' tracers.
 	aggCounters map[string]float64
@@ -294,7 +366,8 @@ func NewManager(cfg Config) *Manager {
 	}
 	m := &Manager{
 		cfg:         cfg,
-		queue:       make(chan *Job, cfg.QueueCap),
+		sched:       sched.New(sched.Config{Capacity: cfg.QueueCap, TenantQuota: cfg.TenantQuota}),
+		cache:       rescache.New(cfg.CacheBytes),
 		started:     time.Now(),
 		jobs:        map[string]*Job{},
 		aggCounters: map[string]float64{},
@@ -303,6 +376,18 @@ func NewManager(cfg Config) *Manager {
 		aggSpans:    map[string]obs.SpanStat{},
 		reg:         metrics.New(),
 	}
+	// One machine-sized kernel pool shared by every worker: par.Pool
+	// supports concurrent Run calls, and deterministic sharding keys off
+	// the problem size, so sharing changes scheduling but never bits.
+	// NewPool returns nil for sizes <= 1 (kernels then run inline).
+	poolSize := cfg.Threads
+	if poolSize == 0 {
+		poolSize = runtime.NumCPU()
+	}
+	m.pool = par.NewPool(poolSize)
+	// The timing observer must be installed before the pool's first Run;
+	// a pool serving every method and size reports the aggregate view.
+	core.InstallPoolMetrics(m.pool, m.reg, "all", "all")
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -319,12 +404,23 @@ func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	prio, err := sched.ParsePriority(req.Priority)
+	if err != nil {
+		return nil, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
 	if req.TimeoutSec < 0 {
 		return nil, fmt.Errorf("service: negative timeout_sec %g", req.TimeoutSec)
 	}
 	if req.Threads < 0 {
 		return nil, fmt.Errorf("service: negative threads %d", req.Threads)
 	}
+	// A zero thread count rides the manager's shared pool; an explicit
+	// count gets a private per-job pool of that size (the pre-shared-pool
+	// behavior, kept for requests that want to bound their own footprint).
+	sharedPool := req.Threads == 0
 	if req.Threads == 0 {
 		req.Threads = m.cfg.Threads
 	}
@@ -345,11 +441,57 @@ func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
 	default:
 		return nil, errors.New("service: request needs a netlist document or a built-in circuit name")
 	}
-	return &JobSpec{Netlist: n, Method: method, Req: req}, nil
+	spec := &JobSpec{Netlist: n, Method: method, Req: req, Priority: prio}
+	if sharedPool {
+		spec.Pool = m.pool
+	}
+	return spec, nil
 }
 
-// Submit validates req and enqueues a job, returning ErrQueueFull when the
-// bounded queue is at capacity and ErrDraining after shutdown has begun.
+// cachedResult is the cache's storage envelope for a JobResult. The
+// placement travels as []byte (base64 in JSON), NOT as the RawMessage the
+// API serves: json.Marshal compacts RawMessage content, which would break
+// the byte-identity guarantee for whitespace-formatted placement JSON.
+type cachedResult struct {
+	Result    JobResult `json:"result"` // Placement nil-ed out
+	Placement []byte    `json:"placement"`
+}
+
+func encodeCachedResult(res *JobResult) ([]byte, error) {
+	cr := cachedResult{Result: *res, Placement: res.Placement}
+	cr.Result.Placement = nil
+	return json.Marshal(&cr)
+}
+
+func decodeCachedResult(b []byte) (*JobResult, error) {
+	var cr cachedResult
+	if err := json.Unmarshal(b, &cr); err != nil {
+		return nil, err
+	}
+	r := cr.Result
+	r.Placement = json.RawMessage(cr.Placement)
+	return &r, nil
+}
+
+// cacheKeyFor derives a job's content address: the canonical netlist
+// fingerprint plus every knob that affects the output bits. Thread count,
+// timeout, tenant, and priority are deliberately excluded — placements are
+// bit-identical across them, so requests differing only there share one
+// entry. Floats contribute their exact IEEE-754 bits.
+func cacheKeyFor(spec *JobSpec) rescache.Key {
+	fb := func(f float64) string { return strconv.FormatUint(math.Float64bits(f), 16) }
+	return rescache.NewKey(netio.Fingerprint(spec.Netlist),
+		spec.Method.ShortName(),
+		strconv.FormatInt(spec.Req.Seed, 10),
+		fb(spec.Req.AreaWeight),
+		fb(spec.Req.Mu),
+		strconv.Itoa(spec.Req.Portfolio),
+	)
+}
+
+// Submit validates req and enqueues a job with the fair scheduler. It
+// returns ErrQueueFull at global queue capacity, ErrTenantQuota at the
+// tenant's in-flight bound, and ErrDraining after shutdown has begun.
 // Validation failures surface before a job is created, so malformed
 // requests never occupy queue slots.
 func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
@@ -379,17 +521,37 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if m.cache != nil {
+		job.cacheKey = cacheKeyFor(spec)
+		job.hasKey = true
+	}
 	// The SpanSink rides alongside the streaming sink: the same span events
 	// that clients tail over /events also feed per-stage latency histograms.
 	job.trc = obs.New(job.sink, metrics.NewSpanSink(m.reg, "placerd_stage_seconds",
 		"method", spec.Req.Method, "size", metrics.SizeClass(len(spec.Netlist.Devices))))
-	select {
-	case m.queue <- job:
-	default:
+	// The job's scheduling weight is inverse to its circuit size: the
+	// device count is the cost the fair queue charges the tenant.
+	job.item = &sched.Item{
+		Tenant:   spec.Req.Tenant,
+		Priority: spec.Priority,
+		Cost:     float64(len(spec.Netlist.Devices)),
+		Payload:  job,
+	}
+	if err := m.sched.Enqueue(job.item); err != nil {
 		m.seq-- // slot not taken; reuse the ID
 		m.rejected++
-		m.rejectedCounter("queue_full").Inc()
-		return nil, ErrQueueFull
+		var quota *sched.QuotaError
+		switch {
+		case errors.As(err, &quota):
+			m.rejectedCounter("tenant_quota").Inc()
+			return nil, fmt.Errorf("%w: %w", ErrTenantQuota, err)
+		case errors.Is(err, sched.ErrClosed):
+			m.rejectedCounter("draining").Inc()
+			return nil, ErrDraining
+		default: // *sched.FullError
+			m.rejectedCounter("queue_full").Inc()
+			return nil, fmt.Errorf("%w: %w", ErrQueueFull, err)
+		}
 	}
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
@@ -398,7 +560,7 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 }
 
 // rejectedCounter resolves the per-reason rejection counter. Reasons are a
-// closed set: invalid, queue_full, draining.
+// closed set: invalid, queue_full, tenant_quota, draining.
 func (m *Manager) rejectedCounter(reason string) *metrics.Counter {
 	return m.reg.Counter("placerd_jobs_rejected_total",
 		"Submissions rejected before being accepted, by reason.",
@@ -442,6 +604,11 @@ func (m *Manager) Cancel(id string) error {
 		j.err = context.Canceled.Error()
 		close(j.done)
 		j.mu.Unlock()
+		// Drop the scheduler entry: the quota releases immediately and the
+		// job never reaches a worker. If the pop already happened (Remove
+		// reports false), runJob's state check skips it and the worker's
+		// Done call releases the quota instead.
+		m.sched.Remove(j.item)
 		j.trc.Close() // end event streams
 		m.finalize(j, StateCanceled)
 	case StateRunning:
@@ -456,11 +623,18 @@ func (m *Manager) Cancel(id string) error {
 	return nil
 }
 
-// worker pops jobs until the queue closes on drain.
+// worker pops jobs in fair-scheduling order until the queue closes on
+// drain. The sched.Done call after each job releases the tenant's
+// in-flight quota slot.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for job := range m.queue {
-		m.runJob(job)
+	for {
+		it, ok := m.sched.Pop()
+		if !ok {
+			return
+		}
+		m.runJob(it.Payload.(*Job))
+		m.sched.Done(it.Tenant)
 	}
 }
 
@@ -491,28 +665,72 @@ func (m *Manager) runJob(job *Job) {
 	}
 	m.reg.Histogram("placerd_job_queue_wait_seconds",
 		"Time a job spent queued: acceptance to start of execution.",
-		metrics.DefBuckets, "method", job.spec.Req.Method).Observe(queueWait.Seconds())
+		metrics.DefBuckets, "method", job.spec.Req.Method,
+		"priority", job.spec.Priority.String()).Observe(queueWait.Seconds())
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
 
-	res, err := m.cfg.Runner(ctx, &job.spec, job.trc)
+	// Cache probe first: determinism makes a stored result byte-identical
+	// to the solve it replaces, so a hit skips the runner entirely.
+	var res *JobResult
+	var err error
+	cached := false
+	if job.hasKey {
+		if b, ok := m.cache.Get(job.cacheKey); ok {
+			if r, jerr := decodeCachedResult(b); jerr == nil {
+				r.Cached = true
+				res, cached = r, true
+			}
+		}
+		result := "miss"
+		if cached {
+			result = "hit"
+		}
+		m.reg.Counter("placerd_cache_requests_total",
+			"Result-cache lookups by executed jobs, by outcome.",
+			"result", result).Inc()
+	}
+	if !cached {
+		m.mu.Lock()
+		m.solverRuns++
+		if job.hasKey {
+			m.cacheMisses++
+		}
+		m.mu.Unlock()
+		res, err = m.cfg.Runner(ctx, &job.spec, job.trc)
+	} else {
+		m.mu.Lock()
+		m.cacheHits++
+		m.mu.Unlock()
+	}
 	cancel()
 	job.trc.Close() // flush the summary event and end event streams
 
 	job.mu.Lock()
 	job.finished = time.Now()
-	m.reg.Histogram("placerd_job_solve_seconds",
-		"Job execution wall time, queue wait excluded.",
-		metrics.DefBuckets, "method", job.spec.Req.Method,
-		"size", metrics.SizeClass(len(job.spec.Netlist.Devices))).
-		Observe(job.finished.Sub(job.started).Seconds())
+	if !cached {
+		// Cache hits are not solves: folding their ~0s turnarounds into the
+		// solve-time histogram would fake a latency improvement.
+		m.reg.Histogram("placerd_job_solve_seconds",
+			"Job execution wall time, queue wait excluded; cache hits are not counted.",
+			metrics.DefBuckets, "method", job.spec.Req.Method,
+			"size", metrics.SizeClass(len(job.spec.Netlist.Devices))).
+			Observe(job.finished.Sub(job.started).Seconds())
+	}
 	job.cancelRun = nil
 	var final State
 	switch {
 	case err == nil:
 		final = StateDone
 		job.result = res
+		if !cached && job.hasKey {
+			// Store the fresh result under its content address; a later
+			// identical submission replays these bytes without a solve.
+			if b, jerr := encodeCachedResult(res); jerr == nil {
+				m.cache.Put(job.cacheKey, b)
+			}
+		}
 	case job.canceled || errors.Is(err, context.Canceled):
 		final = StateCanceled
 		job.err = err.Error()
@@ -583,12 +801,15 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		m.sched.Close()
 	}
 	m.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		// The shared kernel pool outlives every worker; close it only after
+		// the last one exits (even if an earlier Drain call timed out).
+		m.poolEnd.Do(func() { m.pool.Close() })
 		close(done)
 	}()
 	select {
@@ -629,6 +850,20 @@ type Metrics struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 
+	// Scheduler view: per-tenant depth and in-flight counts, queued jobs
+	// by priority class, and cancelations dropped while still queued.
+	Tenants         map[string]sched.TenantStat `json:"tenants,omitempty"`
+	QueueByPriority map[string]int              `json:"queue_by_priority,omitempty"`
+	SchedDropped    int64                       `json:"sched_dropped"`
+
+	// Result-cache effectiveness: hits served without a solver run,
+	// misses that fell through to a solve, total solver invocations, and
+	// the cache's occupancy snapshot (absent when caching is disabled).
+	CacheHits   int64           `json:"cache_hits"`
+	CacheMisses int64           `json:"cache_misses"`
+	SolverRuns  int64           `json:"solver_runs"`
+	Cache       *rescache.Stats `json:"cache,omitempty"`
+
 	SolverCounters map[string]float64      `json:"solver_counters,omitempty"`
 	SolverGauges   map[string]float64      `json:"solver_gauges,omitempty"`
 	SolverSpans    map[string]obs.SpanStat `json:"solver_spans,omitempty"`
@@ -639,23 +874,36 @@ type Metrics struct {
 
 // Metrics snapshots the manager.
 func (m *Manager) Metrics() Metrics {
+	ss := m.sched.Stats()
+	var cacheStats *rescache.Stats
+	if m.cache != nil {
+		cs := m.cache.Stats()
+		cacheStats = &cs
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := Metrics{
-		UptimeSec:      time.Since(m.started).Seconds(),
-		Workers:        m.cfg.Workers,
-		QueueDepth:     len(m.queue),
-		QueueCap:       m.cfg.QueueCap,
-		Running:        m.running,
-		Draining:       m.draining,
-		JobsSubmitted:  m.submitted,
-		JobsRejected:   m.rejected,
-		JobsCompleted:  m.completed,
-		JobsFailed:     m.failed,
-		JobsCanceled:   m.canceledN,
-		SolverCounters: map[string]float64{},
-		SolverGauges:   map[string]float64{},
-		SolverSpans:    map[string]obs.SpanStat{},
+		UptimeSec:       time.Since(m.started).Seconds(),
+		Workers:         m.cfg.Workers,
+		QueueDepth:      ss.Queued,
+		QueueCap:        m.cfg.QueueCap,
+		Running:         m.running,
+		Draining:        m.draining,
+		JobsSubmitted:   m.submitted,
+		JobsRejected:    m.rejected,
+		JobsCompleted:   m.completed,
+		JobsFailed:      m.failed,
+		JobsCanceled:    m.canceledN,
+		Tenants:         ss.Tenants,
+		QueueByPriority: ss.ByPriority,
+		SchedDropped:    ss.Dropped,
+		CacheHits:       m.cacheHits,
+		CacheMisses:     m.cacheMisses,
+		SolverRuns:      m.solverRuns,
+		Cache:           cacheStats,
+		SolverCounters:  map[string]float64{},
+		SolverGauges:    map[string]float64{},
+		SolverSpans:     map[string]obs.SpanStat{},
 	}
 	for k, v := range m.aggCounters {
 		out.SolverCounters[k] = v
@@ -684,16 +932,35 @@ func (m *Manager) Registry() *metrics.Registry { return m.reg }
 // whole registry — job latency histograms, per-stage and per-kernel solver
 // histograms, rejection counters — is written in deterministic order.
 func (m *Manager) WritePrometheus(w io.Writer) error {
+	ss := m.sched.Stats()
 	m.mu.Lock()
-	depth, qcap := len(m.queue), m.cfg.QueueCap
+	qcap := m.cfg.QueueCap
 	running, workers := m.running, m.cfg.Workers
 	draining := m.draining
 	uptime := time.Since(m.started).Seconds()
 	m.mu.Unlock()
 
 	g := func(name, help string, v float64) { m.reg.Gauge(name, help).Set(v) }
-	g("placerd_queue_depth", "Jobs waiting in the bounded FIFO queue.", float64(depth))
+	g("placerd_queue_depth", "Jobs waiting in the scheduler queue.", float64(ss.Queued))
 	g("placerd_queue_cap", "Capacity of the job queue.", float64(qcap))
+	for tenant, ts := range ss.Tenants {
+		m.reg.Gauge("placerd_tenant_queue_depth",
+			"Jobs a tenant has waiting in the scheduler queue.",
+			"tenant", tenant).Set(float64(ts.Queued))
+		m.reg.Gauge("placerd_tenant_inflight_jobs",
+			"A tenant's in-flight jobs (queued plus running), the quantity quotas bound.",
+			"tenant", tenant).Set(float64(ts.InFlight))
+	}
+	for prio, n := range ss.ByPriority {
+		m.reg.Gauge("placerd_queue_depth_by_priority",
+			"Jobs waiting in the scheduler queue, by priority class.",
+			"priority", prio).Set(float64(n))
+	}
+	if m.cache != nil {
+		cs := m.cache.Stats()
+		g("placerd_cache_bytes", "Bytes of placement results held by the content-addressed cache.", float64(cs.Bytes))
+		g("placerd_cache_entries", "Entries in the content-addressed result cache.", float64(cs.Entries))
+	}
 	g("placerd_running_jobs", "Jobs currently executing.", float64(running))
 	g("placerd_workers", "Size of the worker pool.", float64(workers))
 	g("placerd_worker_utilization", "Fraction of workers busy, running/workers.",
