@@ -50,33 +50,40 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		traceDir = flag.String("trace-dir", "", "write one JSONL convergence trace per case and method here (analyzed by cmd/trace)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress lines")
+
+		chains    = flag.Int("chains", 0, "SA portfolio width: independent parallel chains, best kept (0 = per-mode default; QoR is thread-count invariant)")
+		refineOn  = flag.Bool("refine", false, "append the ILP large-neighborhood refinement stage to every method (never worsens QoR)")
+		refineWin = flag.Int("refine-windows", 0, "refinement window budget (0 = about two sweeps)")
 	)
 	flag.Parse()
-	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline, *traceDir,
-		*reps, *warmup, *threads, *seed, *quick, *rtTol, *qorTol, *timeout, *quiet); err != nil {
+	opt := bench.Options{
+		Reps:          *reps,
+		Warmup:        *warmup,
+		Seed:          *seed,
+		Quick:         *quick,
+		Threads:       *threads,
+		TraceDir:      *traceDir,
+		Chains:        *chains,
+		Refine:        *refineOn,
+		RefineWindows: *refineWin,
+	}
+	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline, opt,
+		*rtTol, *qorTol, *timeout, *quiet); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(suite, sizes, netlists, methods, label, outDir, baseline, traceDir string,
-	reps, warmup, threads int, seed int64, quick bool, rtTol, qorTol float64,
+func run(suite, sizes, netlists, methods, label, outDir, baseline string,
+	opt bench.Options, rtTol, qorTol float64,
 	timeout time.Duration, quiet bool) error {
 
-	cases, suiteName, err := resolveCases(suite, sizes, netlists, seed, quick)
+	cases, suiteName, err := resolveCases(suite, sizes, netlists, opt.Seed, opt.Quick)
 	if err != nil {
 		return err
 	}
 
-	opt := bench.Options{
-		Reps:     reps,
-		Warmup:   warmup,
-		Seed:     seed,
-		Quick:    quick,
-		Threads:  threads,
-		TraceDir: traceDir,
-	}
-	if traceDir != "" {
-		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
 			return err
 		}
 	}

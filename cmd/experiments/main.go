@@ -1,7 +1,7 @@
 // Command experiments regenerates the paper's evaluation tables and
 // figures. Usage:
 //
-//	experiments [flags] [table1 fig2 table3 table4 fig5 table5 table6 table7 fig6 | all]
+//	experiments [flags] [table1 fig2 table3 table4 fig5 table5 table6 table7 fig6 ablations refine routed | all]
 //
 // Each selected experiment prints its results in a layout mirroring the
 // paper's table so the reproduction can be compared side by side.
@@ -156,6 +156,14 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.FormatAblations(rows))
+		return nil
+	})
+	run("refine", func() error {
+		rows, err := experiments.RefineAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRefineAblation(rows))
 		return nil
 	})
 	run("routed", func() error {

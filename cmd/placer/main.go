@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netio"
 	"repro/internal/obs"
+	"repro/internal/refine"
 	"repro/internal/testcircuits"
 )
 
@@ -42,6 +43,10 @@ func main() {
 		dumpNet = flag.Bool("dump-netlist", false, "write the selected circuit's netlist JSON and exit")
 		svgPath = flag.String("svg", "", "additionally render the placement to this SVG file")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit), e.g. 30s or 5m")
+
+		chains    = flag.Int("chains", 0, "SA portfolio width: independent chains run in parallel, best kept (0 = the annealer's restart count; results are thread-count invariant)")
+		refine    = flag.Bool("refine", false, "append the ILP large-neighborhood refinement stage (never worsens HPWL or area)")
+		refineWin = flag.Int("refine-windows", 0, "refinement window budget (0 = about two sweeps); implies nothing unless -refine is set")
 
 		tracePath  = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver iterations, counters) here")
 		verbose    = flag.Bool("v", false, "periodic human-readable progress on stderr")
@@ -92,7 +97,13 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, *inPath, *name, *method, *outPath, *svgPath, *seed, *threads, *perf, *dumpNet, tracer)
+	err := run(ctx, runConfig{
+		inPath: *inPath, name: *name, method: *method,
+		outPath: *outPath, svgPath: *svgPath,
+		seed: *seed, threads: *threads, perf: *perf, dumpNet: *dumpNet,
+		chains: *chains, refine: *refine, refineWindows: *refineWin,
+		tracer: tracer,
+	})
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("closing trace: %w", cerr)
 	}
@@ -105,9 +116,26 @@ func main() {
 	}
 }
 
+// runConfig carries the flag values into run.
+type runConfig struct {
+	inPath, name, method string
+	outPath, svgPath     string
+	seed                 int64
+	threads              int
+	perf, dumpNet        bool
+	chains               int
+	refine               bool
+	refineWindows        int
+	tracer               *obs.Tracer
+}
+
 // run executes the placement flow; all fallible work lives here so main
 // can release the profiler and tracer on every exit path.
-func run(ctx context.Context, inPath, name, method, outPath, svgPath string, seed int64, threads int, perf, dumpNet bool, tracer *obs.Tracer) error {
+func run(ctx context.Context, cfg runConfig) error {
+	inPath, name, method := cfg.inPath, cfg.name, cfg.method
+	outPath, svgPath := cfg.outPath, cfg.svgPath
+	seed, threads, perf, dumpNet := cfg.seed, cfg.threads, cfg.perf, cfg.dumpNet
+	tracer := cfg.tracer
 	if inPath == "" && name == "" {
 		return fmt.Errorf("need -in FILE or -circuit NAME (try -list)")
 	}
@@ -146,7 +174,10 @@ func run(ctx context.Context, inPath, name, method, outPath, svgPath string, see
 		return err
 	}
 
-	opt := core.Options{Seed: seed, Tracer: tracer, Threads: threads}
+	opt := core.Options{Seed: seed, Tracer: tracer, Threads: threads, Chains: cfg.chains}
+	if cfg.refine {
+		opt.Refine = &refine.Options{Windows: cfg.refineWindows}
+	}
 	if perf {
 		if cs == nil {
 			return fmt.Errorf("-perf needs a built-in circuit (the GNN trains against its performance model)")

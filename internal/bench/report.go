@@ -65,6 +65,13 @@ type Report struct {
 	Seed    int64    `json:"seed"`
 	Quick   bool     `json:"quick,omitempty"`
 	Methods []string `json:"methods"`
+	// Chains/Refine/RefineWindows record the search-level knobs the run
+	// used (SA portfolio width and the ILP refinement stage): reports with
+	// different knobs are different experiments, so they are stamped next
+	// to seed and quick rather than left ambient.
+	Chains        int  `json:"chains,omitempty"`
+	Refine        bool `json:"refine,omitempty"`
+	RefineWindows int  `json:"refine_windows,omitempty"`
 	// Threads is the resolved placement-kernel worker count the run used;
 	// GoMaxProcs snapshots the Go scheduler's parallelism. QoR does not
 	// depend on either (deterministic sharding), runtime does.

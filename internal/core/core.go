@@ -33,6 +33,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/prevwork"
+	"repro/internal/refine"
 )
 
 // Method selects a placement algorithm.
@@ -117,6 +118,21 @@ type Options struct {
 	// single run.
 	Portfolio int
 
+	// Chains is the simulated-annealing portfolio width: SA runs as this
+	// many independent chains (deterministic per-chain seeds, best-of
+	// reduction on exact HPWL/area) executed in parallel on the worker
+	// pool. 0 derives the count from the annealer's Restarts knob — the
+	// sequential restart loop run as a portfolio instead. Results are
+	// bit-identical at every thread count.
+	Chains int
+
+	// Refine, when non-nil, appends the ILP large-neighborhood refinement
+	// stage (internal/refine) to any method: small windows of the legal
+	// result are re-solved exactly and kept only when they improve. The
+	// stage's Tracer/Metrics default to this run's. The refined placement
+	// is never worse than the unrefined one in HPWL or area.
+	Refine *refine.Options
+
 	// Tracer, when non-nil, wraps the flow in a "place" span and is
 	// threaded into every stage (global placement, annealing, detailed
 	// placement), whose packages emit their own spans and per-iteration
@@ -168,9 +184,13 @@ type Result struct {
 	Runtime time.Duration
 
 	GPIterations int // analytical methods
-	ILPNodes     int // ePlace-A detailed placement
+	ILPNodes     int // ePlace-A detailed placement + refinement windows
 	SAProposals  int // simulated annealing
-	Legal        bool
+
+	RefineWindows int // window ILPs solved by the refinement stage
+	RefineAccepts int // windows whose re-solve improved the placement
+
+	Legal bool
 }
 
 // Place runs the selected method end to end: global placement (or
@@ -239,7 +259,11 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 				saOpt.PerfWeight = 0.6
 			}
 		}
-		p, stats, err := anneal.PlaceCtx(ctx, n, saOpt)
+		p, stats, err := refine.Portfolio(ctx, n, saOpt, refine.PortfolioOptions{
+			Chains: opt.Chains,
+			Pool:   pool,
+			Tracer: opt.Tracer,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -427,6 +451,25 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(method))
+	}
+
+	if opt.Refine != nil {
+		ropt := *opt.Refine
+		if ropt.Tracer == nil {
+			ropt.Tracer = opt.Tracer
+		}
+		if ropt.Metrics == nil {
+			ropt.Metrics = opt.Metrics
+			ropt.MetricsLabels = metricLabels
+		}
+		rp, rstats, err := refine.Refine(ctx, n, res.Placement, ropt)
+		if err != nil {
+			return nil, err
+		}
+		res.Placement = rp
+		res.ILPNodes += rstats.Nodes
+		res.RefineWindows = rstats.Windows
+		res.RefineAccepts = rstats.Accepts
 	}
 
 	res.Runtime = time.Since(start)

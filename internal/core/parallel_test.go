@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/par"
 	"repro/internal/prevwork"
+	"repro/internal/refine"
 	"repro/internal/testcircuits"
 )
 
@@ -91,6 +92,12 @@ func TestParallelPlaceDeterministic(t *testing.T) {
 // sequential, and forced for eplace-a — stays affordable. The per-stage
 // iteration caps only shorten the run; every kernel still executes
 // hundreds of sharded evaluations.
+//
+// The options deliberately turn on the search-level parallel features too:
+// a 5-chain SA portfolio (more chains than the 1-thread leg has workers,
+// fewer than the 8-thread leg — both oversubscription directions) and the
+// ILP refinement post-pass, so the byte-identity contract is pinned for
+// the full portfolio + refine pipeline, not just the placement kernels.
 func TestThreadCountByteIdentity(t *testing.T) {
 	n, err := gen.Generate(gen.Params{Devices: 48, Seed: 9})
 	if err != nil {
@@ -135,6 +142,8 @@ func TestThreadCountByteIdentity(t *testing.T) {
 			Seed:      21,
 			SA:        fastSA(21),
 			Portfolio: 1,
+			Chains:    5,
+			Refine:    &refine.Options{Windows: 4},
 			Threads:   1,
 			GP:        &eplacea.Options{MaxIter: 60},
 			Prev:      &prevwork.Options{Epochs: 3, ItersPerEpoch: 25},

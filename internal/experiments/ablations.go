@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detailed"
 	"repro/internal/eplacea"
+	"repro/internal/refine"
 	"repro/internal/testcircuits"
 )
 
@@ -104,6 +105,82 @@ func FormatAblations(rows []AblationRow) string {
 			r.Base.AreaUM2, r.Variant.AreaUM2,
 			r.Base.HPWLUM, r.Variant.HPWLUM,
 			r.Base.RuntimeS, r.Variant.RuntimeS)
+	}
+	return b.String()
+}
+
+// RefineRow is one line of the refinement ablation: a method/search
+// configuration on one circuit, so the incremental value of the SA chain
+// portfolio and the ILP window refinement stage can be read off directly.
+type RefineRow struct {
+	Design string
+	Config string
+	MethodMetrics
+}
+
+// RefineAblation measures what the search-level additions buy on top of
+// the base solvers: sequential SA versus a 4-chain portfolio versus the
+// portfolio plus ILP window refinement, and ePlace-A with and without the
+// refinement post-pass. Refinement is accept-if-improved, so its rows can
+// never be worse than their unrefined counterparts at the same seed —
+// the table shows how much headroom the base solvers leave behind.
+func RefineAblation(cfg Config) ([]RefineRow, error) {
+	circuits := []string{"CC-OTA", "CM-OTA1"}
+	if cfg.Quick {
+		circuits = circuits[:1]
+	}
+	var rows []RefineRow
+	for _, name := range circuits {
+		c, err := testcircuits.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		configs := []struct {
+			tag string
+			opt core.Options
+		}{
+			{"sa", core.Options{Tracer: cfg.Tracer,
+				Seed: cfg.Seed, SA: cfg.saOptions(cfg.Seed), Chains: 1,
+			}},
+			{"sa+chains4", core.Options{Tracer: cfg.Tracer,
+				Seed: cfg.Seed, SA: cfg.saOptions(cfg.Seed), Chains: 4,
+			}},
+			{"sa+chains4+refine", core.Options{Tracer: cfg.Tracer,
+				Seed: cfg.Seed, SA: cfg.saOptions(cfg.Seed), Chains: 4,
+				Refine: &refine.Options{},
+			}},
+			{"eplace-a", core.Options{Tracer: cfg.Tracer,
+				Seed: cfg.Seed, Portfolio: cfg.portfolio(),
+			}},
+			{"eplace-a+refine", core.Options{Tracer: cfg.Tracer,
+				Seed: cfg.Seed, Portfolio: cfg.portfolio(),
+				Refine: &refine.Options{},
+			}},
+		}
+		for _, v := range configs {
+			m := core.MethodSA
+			if strings.HasPrefix(v.tag, "eplace-a") {
+				m = core.MethodEPlaceA
+			}
+			res, err := core.PlaceCtx(cfg.ctx(), c.Netlist, m, v.opt)
+			if err != nil {
+				return nil, fmt.Errorf("refine ablation %s/%s: %w", v.tag, name, err)
+			}
+			rows = append(rows, RefineRow{Design: name, Config: v.tag, MethodMetrics: metricsOf(res)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatRefineAblation renders the refinement ablation.
+func FormatRefineAblation(rows []RefineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Refinement ablation: SA portfolio chains and ILP window refinement\n")
+	fmt.Fprintf(&b, "%-8s %-18s | %9s %9s | %7s %s\n",
+		"Design", "Config", "Area", "HPWL", "Time", "Legal")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-18s | %9.1f %9.1f | %6.2fs %v\n",
+			r.Design, r.Config, r.AreaUM2, r.HPWLUM, r.RuntimeS, r.Legal)
 	}
 	return b.String()
 }

@@ -190,6 +190,45 @@ func TestAblationsQuick(t *testing.T) {
 	}
 }
 
+func TestRefineAblationQuick(t *testing.T) {
+	if raceEnabled {
+		// Pure sequential-solver work: the parallel chains and window
+		// solves are race-covered by internal/refine's own tests, and this
+		// package already runs close to its raced timeout budget.
+		t.Skip("no concurrency beyond internal/refine's raced tests")
+	}
+	rows, err := RefineAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 refine-ablation rows in quick mode, got %d", len(rows))
+	}
+	byTag := map[string]RefineRow{}
+	for _, r := range rows {
+		if !r.Legal {
+			t.Errorf("%s/%s: illegal placement", r.Config, r.Design)
+		}
+		byTag[r.Config] = r
+	}
+	// Refinement is accept-if-improved: refined rows can never be worse
+	// than their unrefined counterparts at the same seed.
+	if byTag["sa+chains4+refine"].HPWLUM > byTag["sa+chains4"].HPWLUM {
+		t.Error("refined SA portfolio worse than unrefined")
+	}
+	if byTag["eplace-a+refine"].HPWLUM > byTag["eplace-a"].HPWLUM {
+		t.Error("refined eplace-a worse than unrefined")
+	}
+	// The 4-chain portfolio includes the sequential chain, so it can never
+	// lose to it either.
+	if byTag["sa+chains4"].HPWLUM > byTag["sa"].HPWLUM {
+		t.Error("4-chain portfolio worse than sequential SA")
+	}
+	if s := FormatRefineAblation(rows); !strings.Contains(s, "sa+chains4+refine") {
+		t.Error("format missing config tag")
+	}
+}
+
 func TestRoutedValidationQuick(t *testing.T) {
 	rows, err := RoutedValidation(quickCfg())
 	if err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, so heavyweight tests can shed sequential-solver work (~10x
+// slower raced) that adds no concurrency coverage, keeping the package
+// inside its timeout budget.
+const raceEnabled = true

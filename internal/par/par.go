@@ -47,7 +47,9 @@ type Pool struct {
 	timing  func(RunTiming) // optional per-Run timing observer
 
 	mu     sync.Mutex
-	workCh chan func()
+	cond   *sync.Cond // signaled when tasks arrive or the pool closes
+	queue  []func()   // pending helper tasks; head is the next to run
+	head   int
 	closed bool
 }
 
@@ -86,18 +88,53 @@ func NewPool(workers int) *Pool {
 	if workers <= 1 {
 		return nil
 	}
-	p := &Pool{
-		workers: workers,
-		workCh:  make(chan func()),
-	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
-		go func() {
-			for f := range p.workCh {
-				f()
-			}
-		}()
+		go p.workerLoop()
 	}
 	return p
+}
+
+// workerLoop pops queued tasks until the pool is closed and drained.
+func (p *Pool) workerLoop() {
+	for {
+		p.mu.Lock()
+		for p.head == len(p.queue) && !p.closed {
+			p.cond.Wait()
+		}
+		if p.head == len(p.queue) {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		f := p.queue[p.head]
+		p.queue[p.head] = nil
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		}
+		p.mu.Unlock()
+		f()
+	}
+}
+
+// submit enqueues helper tasks without ever blocking on worker
+// availability. Queued tasks are self-canceling: a Run's helpers claim
+// shards from an atomic counter, so a helper that reaches the front of
+// the queue after its Run finished simply finds no shards left and
+// returns. That keeps a saturated pool safe — a Run issued while every
+// worker is busy on long tasks (e.g. portfolio SA chains) degrades to
+// caller-inline execution instead of stalling behind them.
+func (p *Pool) submit(fs []func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: Run on closed Pool")
+	}
+	p.queue = append(p.queue, fs...)
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // NumCPU returns the worker count a default pool would use: the machine's
@@ -113,18 +150,17 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// Close shuts down the workers. Calls to Run after Close panic. Close is
-// idempotent and a nil pool ignores it.
+// Close shuts down the workers; already-queued tasks are drained first.
+// Calls to Run after Close panic. Close is idempotent and a nil pool
+// ignores it.
 func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.closed {
-		p.closed = true
-		close(p.workCh)
-	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // Run executes f(shard) for every shard in [0, shards) across the pool's
@@ -165,6 +201,8 @@ func (p *Pool) RunIndexed(shards int, f func(slot, shard int)) {
 		start = time.Now()
 		slotStats = make([]slotTiming, workers)
 	}
+	var completed atomic.Int64
+	finished := make(chan struct{})
 	loop := func(slot int) {
 		for {
 			s := int(next.Add(1)) - 1
@@ -173,32 +211,29 @@ func (p *Pool) RunIndexed(shards int, f func(slot, shard int)) {
 			}
 			if timing == nil {
 				f(slot, s)
-				continue
+			} else {
+				t0 := time.Now()
+				f(slot, s)
+				slotStats[slot].observe(time.Since(t0))
 			}
-			t0 := time.Now()
-			f(slot, s)
-			slotStats[slot].observe(time.Since(t0))
+			if completed.Add(1) == int64(shards) {
+				close(finished)
+			}
 		}
 	}
-	var done sync.WaitGroup
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		panic("par: Run on closed Pool")
-	}
+	helpers := make([]func(), workers-1)
 	for i := 1; i < workers; i++ {
 		slot := i
-		done.Add(1)
-		p.workCh <- func() {
-			defer done.Done()
-			loop(slot)
-		}
+		helpers[i-1] = func() { loop(slot) }
 	}
-	p.mu.Unlock()
+	p.submit(helpers)
 	// The caller's goroutine participates as slot 0 so a pool of W
-	// workers drives W-way parallelism without idling the caller.
+	// workers drives W-way parallelism without idling the caller. Run
+	// waits for shard completion, not helper execution: helpers that
+	// never get a worker (all busy elsewhere) are harmless no-ops, and
+	// the caller finishes the shards itself.
 	loop(0)
-	done.Wait()
+	<-finished
 	if timing != nil {
 		t := RunTiming{Shards: shards, Workers: workers, Wall: time.Since(start)}
 		for _, st := range slotStats {

@@ -161,6 +161,50 @@ func TestConcurrentRuns(t *testing.T) {
 	}
 }
 
+// A Run issued while every worker is pinned by long tasks must still
+// complete promptly: submission never blocks, and the caller executes the
+// shards inline when no worker frees up. This is the liveness contract the
+// shared placerd pool relies on once portfolio SA chains (minutes-long
+// tasks) share it with fine-grained kernels.
+func TestRunLiveUnderSaturation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	release := make(chan struct{})
+	var occupied sync.WaitGroup
+	occupied.Add(4) // 2 Runs × 2 shards, each parked on release
+	var pinned sync.WaitGroup
+	pinned.Add(1)
+	go func() {
+		defer pinned.Done()
+		// Two long shards pin both workers... except the caller of this
+		// Run takes one of them as slot 0, so exactly one pool worker is
+		// occupied per long shard — run two concurrent Runs to pin both.
+		p.Run(2, func(int) { occupied.Done(); <-release })
+	}()
+	pinned.Add(1)
+	go func() {
+		defer pinned.Done()
+		p.Run(2, func(int) { occupied.Done(); <-release })
+	}()
+	occupied.Wait() // both workers (and both callers) now blocked
+
+	done := make(chan struct{})
+	go func() {
+		var total atomic.Int64
+		p.Run(8, func(int) { total.Add(1) })
+		if total.Load() == 8 {
+			close(done)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run stalled behind saturated workers")
+	}
+	close(release)
+	pinned.Wait()
+}
+
 func TestCloseIdempotentAndNilSafe(t *testing.T) {
 	var nilPool *Pool
 	nilPool.Close() // must not panic

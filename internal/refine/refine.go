@@ -1,0 +1,197 @@
+package refine
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/detailed"
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
+)
+
+// Options configures the ILP large-neighborhood refinement pass.
+type Options struct {
+	// Windows is the total window-solve budget across all passes. 0 means
+	// auto: roughly two full sweeps of the placement. The budget is an
+	// iteration count, never wall-clock, so refinement cost — and result —
+	// is deterministic.
+	Windows int
+	// WindowSize is the number of devices per window before symmetry
+	// closure (default 8). Windows are consecutive runs of a row-major
+	// sweep of the current placement, expanded with symmetry-pair
+	// partners, so symmetric structures are re-solved together.
+	WindowSize int
+	// MaxNodes caps branch-and-bound nodes per axis per window
+	// (default 64).
+	MaxNodes int
+
+	// Tracer wraps the pass in a "refine" span (per-window ilp events,
+	// refine.* counters). Metrics, when non-nil, records each window
+	// solve in placer_kernel_seconds{...,kernel="refine_window"} under
+	// MetricsLabels.
+	Tracer        *obs.Tracer
+	Metrics       *metrics.Registry
+	MetricsLabels []string
+}
+
+// Stats summarizes one refinement pass.
+type Stats struct {
+	Windows int // window solves executed
+	Accepts int // windows whose exact re-solve improved the placement
+	Nodes   int // branch-and-bound LP nodes across all windows
+	// HPWLBefore/HPWLAfter are the weighted wirelength entering and
+	// leaving the stage; After ≤ Before always (accept-if-improved).
+	HPWLBefore float64
+	HPWLAfter  float64
+}
+
+// Refine improves a legal placement by exact ILP re-solves of small device
+// windows: each window is re-optimized with everything else held fixed and
+// committed only if it strictly reduces weighted HPWL without growing the
+// bounding box, so the result is never worse than the input on either
+// metric. The input placement is never mutated — on success, cancellation,
+// or error, p is untouched and the returned placement is a fresh value.
+//
+// Passes sweep the placement row-major in windows of WindowSize devices,
+// staggered by half a window on alternate passes so device groups split by
+// one pass's window boundaries are re-solved together by the next.
+// Refinement stops when the window budget is exhausted, a full pass
+// accepts nothing, or ctx is canceled (checked between windows; a
+// canceled refine returns promptly with ctx's error).
+func Refine(ctx context.Context, n *circuit.Netlist, p *circuit.Placement, opt Options) (*circuit.Placement, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	size := opt.WindowSize
+	if size <= 0 {
+		size = 8
+	}
+	budget := opt.Windows
+	if budget <= 0 {
+		budget = 2 * (len(n.Devices)/size + 2)
+	}
+
+	span := opt.Tracer.StartSpan("refine")
+	defer span.End()
+	hist := metrics.KernelHistogram(opt.Metrics, opt.MetricsLabels, "refine_window")
+
+	work := p.Clone()
+	n.Normalize(work)
+	stats := &Stats{HPWLBefore: n.HPWL(work)}
+	ws := detailed.NewWindowSolver(n, detailed.WindowOptions{
+		MaxNodes: opt.MaxNodes,
+		Tracer:   opt.Tracer,
+	})
+
+	// Bound passes defensively; in practice the no-accept exit fires much
+	// earlier because accepted improvements dry up after a few sweeps.
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses && stats.Windows < budget; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		// Window moves stay within the separation topology of the pass
+		// start; re-derive it each pass so devices can migrate further.
+		ws.Rederive(work)
+		accepts := 0
+		for _, win := range schedule(n, work, size, pass) {
+			if stats.Windows >= budget {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			t0 := time.Now()
+			ok, nodes, err := ws.Improve(ctx, work, win)
+			hist.Observe(time.Since(t0).Seconds())
+			stats.Windows++
+			stats.Nodes += nodes
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				accepts++
+				stats.Accepts++
+			}
+		}
+		if accepts == 0 {
+			break
+		}
+	}
+	n.Normalize(work)
+	stats.HPWLAfter = n.HPWL(work)
+	if opt.Tracer.Enabled() {
+		opt.Tracer.Count("refine.windows", float64(stats.Windows))
+		opt.Tracer.Count("refine.accepts", float64(stats.Accepts))
+		opt.Tracer.Count("refine.ilp_nodes", float64(stats.Nodes))
+		opt.Tracer.Gauge("refine.hpwl", stats.HPWLAfter)
+	}
+	return work, stats, nil
+}
+
+// schedule returns the deterministic window list for one pass: device
+// indices sorted by (y, x, index) — a row-major sweep of the current
+// placement — cut into WindowSize chunks (odd passes staggered by half a
+// window), each chunk closed over symmetry-pair partners so mirrored
+// devices move together with their axis.
+func schedule(n *circuit.Netlist, p *circuit.Placement, size, pass int) [][]int {
+	nd := len(n.Devices)
+	order := make([]int, nd)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if p.Y[ia] != p.Y[ib] {
+			return p.Y[ia] < p.Y[ib]
+		}
+		if p.X[ia] != p.X[ib] {
+			return p.X[ia] < p.X[ib]
+		}
+		return ia < ib
+	})
+	partner := make(map[int]int)
+	for gi := range n.SymGroups {
+		for _, pr := range n.SymGroups[gi].Pairs {
+			partner[pr[0]] = pr[1]
+			partner[pr[1]] = pr[0]
+		}
+	}
+	start := 0
+	if pass%2 == 1 {
+		start = -size / 2 // leading half-window staggers the cut points
+	}
+	var wins [][]int
+	for lo := start; lo < nd; lo += size {
+		a, b := lo, lo+size
+		if a < 0 {
+			a = 0
+		}
+		if b > nd {
+			b = nd
+		}
+		if b <= a {
+			continue
+		}
+		chunk := order[a:b]
+		seen := make(map[int]bool, 2*len(chunk))
+		win := make([]int, 0, 2*len(chunk))
+		for _, i := range chunk {
+			if !seen[i] {
+				seen[i] = true
+				win = append(win, i)
+			}
+		}
+		for _, i := range chunk {
+			if q, ok := partner[i]; ok && !seen[q] {
+				seen[q] = true
+				win = append(win, q)
+			}
+		}
+		sort.Ints(win)
+		wins = append(wins, win)
+	}
+	return wins
+}

@@ -1,9 +1,11 @@
 // Package rescache is a content-addressed result cache for deterministic
 // placement: values are stored under the SHA-256 of everything that
 // determines the solver's output bits — the canonical netlist fingerprint
-// (internal/netio) plus the method, seed, and result-affecting knobs — so
-// a hit can be returned in place of a fresh solve with byte-identical
-// results. Keys deliberately exclude inputs that do NOT affect output
+// (internal/netio) plus the method, seed, and result-affecting knobs
+// (area weight, mu, portfolio width, SA chain count, and the refinement
+// stage's on/off and window budget) — so a hit can be returned in place
+// of a fresh solve with byte-identical results. Keys deliberately
+// exclude inputs that do NOT affect output
 // bits (thread count, deadlines, tenant, priority): requests differing
 // only in those share one entry.
 //

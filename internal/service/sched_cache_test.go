@@ -272,6 +272,50 @@ func TestCacheRealSolverByteIdentity(t *testing.T) {
 	}
 }
 
+// TestCacheKeyRefineKnobs pins the content-address extension for the
+// refinement stage: requests differing only in the chains / refine /
+// refine_windows knobs produce different placements, so they must never
+// collide in the cache — while the knobs' zero values keep the historical
+// key so existing entries stay addressable.
+func TestCacheKeyRefineKnobs(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueCap: 8})
+	defer drain(t, m)
+
+	keyFor := func(req SubmitRequest) string {
+		t.Helper()
+		spec, err := m.validate(req)
+		if err != nil {
+			t.Fatalf("validate %+v: %v", req, err)
+		}
+		return cacheKeyFor(spec).String()
+	}
+
+	base := SubmitRequest{Circuit: "Adder", Method: "sa", Seed: 5}
+	variants := map[string]SubmitRequest{
+		"chains=4":         {Circuit: "Adder", Method: "sa", Seed: 5, Chains: 4},
+		"refine":           {Circuit: "Adder", Method: "sa", Seed: 5, Refine: true},
+		"refine windows=3": {Circuit: "Adder", Method: "sa", Seed: 5, Refine: true, RefineWindows: 3},
+		"refine windows=9": {Circuit: "Adder", Method: "sa", Seed: 5, Refine: true, RefineWindows: 9},
+		"chains=4 refine":  {Circuit: "Adder", Method: "sa", Seed: 5, Chains: 4, Refine: true},
+	}
+	baseKey := keyFor(base)
+	seen := map[string]string{baseKey: "base"}
+	for name, req := range variants {
+		k := keyFor(req)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s: cache key collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// Knobs that do not change the bits stay out of the key.
+	threaded := base
+	threaded.Threads = 4
+	if keyFor(threaded) != baseKey {
+		t.Error("thread count leaked into the cache key")
+	}
+}
+
 // TestHTTPStructuredBackpressure checks the 429 responses carry the
 // machine-readable error body (reason, tenant, retry_after_sec) and the
 // Retry-After header for both quota and capacity rejections.

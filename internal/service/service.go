@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/par"
+	"repro/internal/refine"
 	"repro/internal/rescache"
 	"repro/internal/sched"
 )
@@ -99,6 +100,14 @@ type SubmitRequest struct {
 	AreaWeight float64 `json:"area_weight,omitempty"`
 	Mu         float64 `json:"mu,omitempty"`
 	Portfolio  int     `json:"portfolio,omitempty"`
+	// Chains is the SA portfolio width: independent parallel chains with a
+	// deterministic best-of reduction (0 = the annealer's restart count).
+	Chains int `json:"chains,omitempty"`
+	// Refine appends the ILP large-neighborhood refinement stage after the
+	// selected method; RefineWindows bounds its window budget (0 = auto).
+	// Refined results are never worse than unrefined at the same seed.
+	Refine        bool `json:"refine,omitempty"`
+	RefineWindows int  `json:"refine_windows,omitempty"`
 	// Threads overrides the per-job kernel worker count. Placement bits
 	// are identical at every value; only runtime changes. 0 (the default)
 	// runs the job on the manager's shared machine-sized pool; an explicit
@@ -168,10 +177,14 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 		AreaWeight: spec.Req.AreaWeight,
 		Mu:         spec.Req.Mu,
 		Portfolio:  spec.Req.Portfolio,
+		Chains:     spec.Req.Chains,
 		Threads:    spec.Req.Threads,
 		Pool:       spec.Pool,
 		Tracer:     tracer,
 		Metrics:    spec.Metrics,
+	}
+	if spec.Req.Refine {
+		opt.Refine = &refine.Options{Windows: spec.Req.RefineWindows}
 	}
 	res, err := core.PlaceCtx(ctx, spec.Netlist, spec.Method, opt)
 	if err != nil {
@@ -417,6 +430,12 @@ func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
 	if req.Threads < 0 {
 		return nil, fmt.Errorf("service: negative threads %d", req.Threads)
 	}
+	if req.Chains < 0 {
+		return nil, fmt.Errorf("service: negative chains %d", req.Chains)
+	}
+	if req.RefineWindows < 0 {
+		return nil, fmt.Errorf("service: negative refine_windows %d", req.RefineWindows)
+	}
 	// A zero thread count rides the manager's shared pool; an explicit
 	// count gets a private per-job pool of that size (the pre-shared-pool
 	// behavior, kept for requests that want to bound their own footprint).
@@ -486,6 +505,12 @@ func cacheKeyFor(spec *JobSpec) rescache.Key {
 		fb(spec.Req.AreaWeight),
 		fb(spec.Req.Mu),
 		strconv.Itoa(spec.Req.Portfolio),
+		strconv.Itoa(spec.Req.Chains),
+		// Refined and unrefined submissions must never share an entry:
+		// refinement changes the placement bits, and the window budget
+		// changes how far it runs.
+		strconv.FormatBool(spec.Req.Refine),
+		strconv.Itoa(spec.Req.RefineWindows),
 	)
 }
 
