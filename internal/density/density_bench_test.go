@@ -54,11 +54,12 @@ func BenchmarkUpdate(b *testing.B) {
 }
 
 // BenchmarkPoissonSolve measures the spectral Poisson solve alone (DCT,
-// spectral scaling, inverse transforms) at the production grid sizes. The
-// fast transforms make one solve O(m² log m); the threads variants fan the
-// row/column passes across the pool.
+// spectral scaling, inverse transforms) at production grid sizes plus the
+// large m=512/1024 grids the packed-FFT pipeline is gated on. The fast
+// transforms make one solve O(m² log m); the threads variants fan the
+// packed row-pair passes across the pool.
 func BenchmarkPoissonSolve(b *testing.B) {
-	for _, m := range []int{32, 64, 128} {
+	for _, m := range []int{32, 64, 128, 512, 1024} {
 		for _, threads := range benchThreads {
 			b.Run(fmt.Sprintf("m%d/threads%d", m, threads), func(b *testing.B) {
 				pool := par.NewPool(threads)

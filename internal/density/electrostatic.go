@@ -22,11 +22,12 @@ import (
 // results bit-identical at every thread count.
 const devGrain = 32
 
-// gridScratch is the per-worker-slot working set for row/column transform
-// passes: an fft.Scratch for the shared Plan plus gather/output lines.
+// gridScratch is the per-worker-slot working set for the packed line-pair
+// transform passes: an fft.Scratch for the shared Plan plus two line
+// buffers for frequency-scaled coefficient rows.
 type gridScratch struct {
-	fs       *fft.Scratch
-	buf, out []float64
+	fs     *fft.Scratch
+	b0, b1 []float64
 }
 
 // Electrostatic is the ePlace density model: devices are positive charges
@@ -36,13 +37,22 @@ type gridScratch struct {
 // spectral: a 2-D DCT of ρ, per-frequency scaling, and inverse cosine/sine
 // reconstructions for ψ, ξx, ξy.
 //
+// The solve is a packed, fused pipeline (see solve): every row/column pass
+// packs two real grid lines into one complex FFT (fft's *PairTo
+// transforms), column passes run on contiguous rows via cache-blocked
+// transposes instead of stride-m gathers, the spectral scaling reads one
+// precomputed per-frequency table (rebuilt only on SetRegion), and the
+// ψ/ξx/ξy reconstructions share the inverse pass over v through linearity
+// instead of running three independent 2-D transforms.
+//
 // Concurrency model: a grid built over a par.Pool parallelizes the three
 // device-sharded passes (rasterization with per-shard partial ρ grids
 // merged in shard order, field sampling with disjoint per-device writes)
-// and the row/column transform passes of the spectral solve (disjoint
-// lines, per-slot fft scratch). Shard geometry is a pure function of
-// problem size, so pooled and inline execution produce identical bits.
-// The grid itself is not safe for concurrent use by multiple goroutines.
+// and the line-pair transform passes of the spectral solve (disjoint line
+// pairs via par.ForPairs, per-slot fft scratch). Shard geometry — including
+// the line pairing — is a pure function of problem size, so pooled and
+// inline execution produce identical bits. The grid itself is not safe for
+// concurrent use by multiple goroutines.
 type Electrostatic struct {
 	m      int
 	region geom.Rect
@@ -52,14 +62,25 @@ type Electrostatic struct {
 
 	plan *fft.Plan
 	rho  []float64 // device area density per bin (area units / bin area)
-	auv  []float64 // DCT coefficients of neutralized rho
+	auv  []float64 // scaled DCT spectrum of rho (ψ coefficients, [u*m+v])
 	psi  []float64 // potential per bin
 	ex   []float64 // field x-component per bin
 	ey   []float64 // field y-component per bin
 
-	coefBuf []float64     // scratch: scaled coefficients
+	work    []float64     // scratch: half-transformed grids
+	coefBuf []float64     // scratch: transposed half-transformed grids
+	lineE   []float64     // per-row Σ ρ·ψ partials (deterministic energy)
 	slots   []gridScratch // per-worker-slot transform scratch
 	partRho []float64     // per-shard partial ρ grids (one grid when pool is nil)
+
+	// Frequency tables, rebuilt by SetRegion only: wu[u] = πu/(m·binW),
+	// wv[v] = πv/(m·binH), and scaleTab[u*m+v] — the DCT normalization
+	// (2/m)² with the α₀ = ½ edge factors folded into 1/(wu²+wv²), zero at
+	// the DC term. One table lookup replaces the per-element trig, division
+	// and branch work the solve used to redo three times per call.
+	wuTab    []float64
+	wvTab    []float64
+	scaleTab []float64
 
 	// Per-call duration histograms for the three hot kernels, installed
 	// with SetTimers. All nil by default: untimed calls pay one pointer
@@ -87,33 +108,71 @@ func NewElectrostatic(m int, region geom.Rect) *Electrostatic {
 // means inline execution with identical result bits.
 func NewElectrostaticPool(m int, region geom.Rect, pool *par.Pool) *Electrostatic {
 	g := &Electrostatic{
-		m:       m,
-		pool:    pool,
-		plan:    fft.NewPlan(m),
-		rho:     make([]float64, m*m),
-		auv:     make([]float64, m*m),
-		psi:     make([]float64, m*m),
-		ex:      make([]float64, m*m),
-		ey:      make([]float64, m*m),
-		coefBuf: make([]float64, m*m),
-		slots:   make([]gridScratch, pool.Workers()),
+		m:        m,
+		pool:     pool,
+		plan:     fft.NewPlan(m),
+		rho:      make([]float64, m*m),
+		auv:      make([]float64, m*m),
+		psi:      make([]float64, m*m),
+		ex:       make([]float64, m*m),
+		ey:       make([]float64, m*m),
+		work:     make([]float64, m*m),
+		coefBuf:  make([]float64, m*m),
+		lineE:    make([]float64, m),
+		wuTab:    make([]float64, m),
+		wvTab:    make([]float64, m),
+		scaleTab: make([]float64, m*m),
+		slots:    make([]gridScratch, pool.Workers()),
 	}
 	for i := range g.slots {
 		g.slots[i] = gridScratch{
-			fs:  g.plan.NewScratch(),
-			buf: make([]float64, m),
-			out: make([]float64, m),
+			fs: g.plan.NewScratch(),
+			b0: make([]float64, m),
+			b1: make([]float64, m),
 		}
 	}
 	g.SetRegion(region)
 	return g
 }
 
-// SetRegion re-targets the grid onto a new placement region.
+// SetRegion re-targets the grid onto a new placement region and rebuilds
+// the frequency tables the spectral scaling reads.
 func (g *Electrostatic) SetRegion(region geom.Rect) {
 	g.region = region
-	g.binW = region.W() / float64(g.m)
-	g.binH = region.H() / float64(g.m)
+	m := g.m
+	g.binW = region.W() / float64(m)
+	g.binH = region.H() / float64(m)
+	for u := 0; u < m; u++ {
+		g.wuTab[u] = math.Pi * float64(u) / (float64(m) * g.binW)
+	}
+	for v := 0; v < m; v++ {
+		g.wvTab[v] = math.Pi * float64(v) / (float64(m) * g.binH)
+	}
+	// scaleTab[u*m+v] turns the raw 2-D DCT-II output directly into ψ
+	// coefficients: the exact cosine-series normalization (2/m)² with the
+	// α₀ = ½ factors on the u = 0 / v = 0 edges, times the Poisson kernel
+	// 1/(wu²+wv²). The DC entry is zero — dividing out the kernel at the
+	// (0,0) frequency is exactly where the mean (neutralization) term
+	// lives, so zeroing it here subsumes the explicit mean-subtraction
+	// sweep the solve used to run over the whole grid.
+	nrm := 4 / (float64(m) * float64(m))
+	for u := 0; u < m; u++ {
+		au := nrm
+		if u == 0 {
+			au /= 2
+		}
+		wu2 := g.wuTab[u] * g.wuTab[u]
+		row := g.scaleTab[u*m : u*m+m]
+		for v := 0; v < m; v++ {
+			c := au
+			if v == 0 {
+				c /= 2
+			}
+			wv := g.wvTab[v]
+			row[v] = c / (wu2 + wv*wv)
+		}
+	}
+	g.scaleTab[0] = 0
 }
 
 // Region returns the placement region the grid covers.
@@ -246,12 +305,13 @@ func (g *Electrostatic) ensurePartRho(shards int) {
 // rasterize adds the footprints of devices [lo, hi) into the dst grid.
 func (g *Electrostatic) rasterize(n *circuit.Netlist, p *circuit.Placement, lo, hi int, dst []float64) {
 	m := g.m
-	binArea := g.binW * g.binH
+	invBinArea := 1 / (g.binW * g.binH)
 	for i := lo; i < hi; i++ {
 		r, scale := g.inflated(n, p, i)
 		if r.Empty() {
 			continue
 		}
+		sb := scale * invBinArea
 		x0, x1 := binRange(r.Lo.X, r.Hi.X, g.region.Lo.X, g.binW, m)
 		y0, y1 := binRange(r.Lo.Y, r.Hi.Y, g.region.Lo.Y, g.binH, m)
 		for by := y0; by < y1; by++ {
@@ -266,151 +326,183 @@ func (g *Electrostatic) rasterize(n *circuit.Netlist, p *circuit.Placement, lo, 
 				if ox <= 0 {
 					continue
 				}
-				dst[by*m+bx] += scale * ox * oy / binArea
+				dst[by*m+bx] += sb * ox * oy
 			}
 		}
 	}
 }
 
-// solve computes ψ and ξ from the current ρ via the spectral Poisson solve.
+// solve computes ψ and ξ from the current ρ via the packed, fused
+// spectral Poisson solve. Data flow (DESIGN.md §14 has the derivation):
+//
+//	F1  DCT over x of every ρ row (packed pairs)        → auv[y][u]
+//	T1  tiled transpose                                 → work[u][y]
+//	F2  DCT over y of every row, fused ·scaleTab        → auv[u][v]  (ψ coefficients)
+//	R1  InvCos over v of every row                      → work[u][y] (shared half-reconstruction Q)
+//	T2  tiled transpose                                 → coefBuf[y][u]
+//	R2a InvCos over u → ψ rows; InvSin over u of wu·row → ξx rows; fused Σ ρ·ψ row partials
+//	R1b InvSin over v of wv-scaled auv rows             → work[u][y]
+//	T3  tiled transpose                                 → coefBuf[y][u]
+//	R2b InvCos over u                                   → ξy rows
+//
+// The three reconstructions share work through linearity: the ξx
+// coefficients a·wu/(wu²+wv²) are the ψ coefficients times a constant per
+// u-line, so ξx reuses ψ's inverse-over-v pass (Q) and only pays its own
+// inverse over u; likewise ξy's wv factor is constant per v and folds
+// into a row scaling before its single extra inverse-over-v pass. That is
+// 5 line passes instead of the 8 of three independent 2-D transforms, and
+// with two real lines packed per complex FFT, 3.5m length-m FFTs per
+// solve instead of 8m.
+//
+// Mean neutralization is implicit: subtracting the mean density only
+// changes the (0,0) DCT term, and scaleTab zeroes exactly that term, so
+// no explicit neutralization sweep is needed. The DCT normalization and
+// Poisson kernel are likewise one fused table multiply (see SetRegion).
 func (g *Electrostatic) solve() {
 	m := g.m
-	// Neutralize: subtract mean density so the DC term vanishes.
-	var mean float64
-	for _, v := range g.rho {
-		mean += v
-	}
-	mean /= float64(m * m)
-	for i, v := range g.rho {
-		g.auv[i] = v - mean
-	}
-	// Forward 2-D DCT-II: rows (over x), then columns (over y). Lines
-	// are independent and write disjoint slices, so each pass fans out
-	// across the pool with per-slot scratch.
-	g.forLines(func(slot, y int) {
-		g.plan.DCT2To(g.auv[y*m:(y+1)*m], g.auv[y*m:(y+1)*m], g.slots[slot].fs)
-	})
-	g.forLines(func(slot, x int) {
+	plan := g.plan
+	// F1: forward DCT along x of every ρ row, two rows per complex FFT.
+	g.forLinePairs(func(slot, y0, y1 int) {
 		sc := &g.slots[slot]
-		for y := 0; y < m; y++ {
-			sc.buf[y] = g.auv[y*m+x]
+		if y1 < 0 {
+			plan.DCT2To(g.rho[y0*m:y0*m+m], g.auv[y0*m:y0*m+m], sc.fs)
+			return
 		}
-		g.plan.DCT2To(sc.buf, sc.out, sc.fs)
-		for y := 0; y < m; y++ {
-			g.auv[y*m+x] = sc.out[y]
+		plan.DCT2PairTo(g.rho[y0*m:y0*m+m], g.rho[y1*m:y1*m+m],
+			g.auv[y0*m:y0*m+m], g.auv[y1*m:y1*m+m], sc.fs)
+	})
+	// T1: [y][u] → [u][y] so the y-direction DCT runs on contiguous rows.
+	g.transposeGrid(g.work, g.auv)
+	// F2: forward DCT along y, scaled in place to ψ coefficients while the
+	// rows are cache-hot.
+	g.forLinePairs(func(slot, u0, u1 int) {
+		sc := &g.slots[slot]
+		o0 := g.auv[u0*m : u0*m+m]
+		if u1 < 0 {
+			plan.DCT2To(g.work[u0*m:u0*m+m], o0, sc.fs)
+		} else {
+			plan.DCT2PairTo(g.work[u0*m:u0*m+m], g.work[u1*m:u1*m+m],
+				o0, g.auv[u1*m:u1*m+m], sc.fs)
+		}
+		for v, s := range g.scaleTab[u0*m : u0*m+m] {
+			o0[v] *= s
+		}
+		if u1 >= 0 {
+			o1 := g.auv[u1*m : u1*m+m]
+			for v, s := range g.scaleTab[u1*m : u1*m+m] {
+				o1[v] *= s
+			}
 		}
 	})
-	// Normalize to an exact cosine-series representation:
-	// rho[x][y] = Σ auv cos cos with the (2/M)² and α₀ = 1/2 factors folded in.
-	nrm := 4 / (float64(m) * float64(m))
-	for v := 0; v < m; v++ {
+	// R1: shared half-reconstruction Q[u][y] = InvCos over v of the ψ
+	// coefficient rows. ψ and ξx both build on Q.
+	g.forLinePairs(func(slot, u0, u1 int) {
+		sc := &g.slots[slot]
+		if u1 < 0 {
+			plan.InvCosTo(g.auv[u0*m:u0*m+m], g.work[u0*m:u0*m+m], sc.fs)
+			return
+		}
+		plan.InvCosPairTo(g.auv[u0*m:u0*m+m], g.auv[u1*m:u1*m+m],
+			g.work[u0*m:u0*m+m], g.work[u1*m:u1*m+m], sc.fs)
+	})
+	// T2: Q[u][y] → coefBuf[y][u].
+	g.transposeGrid(g.coefBuf, g.work)
+	// R2a: per output row y, ψ = InvCos over u of Q^T, and ξx = InvSin
+	// over u of the same row scaled by wu (the per-u constant that turns ψ
+	// coefficients into ξx coefficients). The Σ ρ·ψ energy partial of each
+	// finished ψ row is accumulated here too — a fixed per-row summation
+	// order, so Energy stays bit-identical at every thread count.
+	g.forLinePairs(func(slot, y0, y1 int) {
+		sc := &g.slots[slot]
+		q0 := g.coefBuf[y0*m : y0*m+m]
+		if y1 < 0 {
+			plan.InvCosTo(q0, g.psi[y0*m:y0*m+m], sc.fs)
+			for u := 0; u < m; u++ {
+				sc.b0[u] = g.wuTab[u] * q0[u]
+			}
+			plan.InvSinTo(sc.b0, g.ex[y0*m:y0*m+m], sc.fs)
+			g.lineE[y0] = dot(g.rho[y0*m:y0*m+m], g.psi[y0*m:y0*m+m])
+			return
+		}
+		q1 := g.coefBuf[y1*m : y1*m+m]
+		plan.InvCosPairTo(q0, q1, g.psi[y0*m:y0*m+m], g.psi[y1*m:y1*m+m], sc.fs)
 		for u := 0; u < m; u++ {
-			c := g.auv[v*m+u] * nrm
-			if u == 0 {
-				c /= 2
-			}
-			if v == 0 {
-				c /= 2
-			}
-			g.auv[v*m+u] = c
+			w := g.wuTab[u]
+			sc.b0[u] = w * q0[u]
+			sc.b1[u] = w * q1[u]
 		}
-	}
-	wu := func(u int) float64 { return math.Pi * float64(u) / (float64(g.m) * g.binW) }
-	wv := func(v int) float64 { return math.Pi * float64(v) / (float64(g.m) * g.binH) }
-
-	// ψ coefficients: a/(wu²+wv²); reconstruct cos(x)·cos(y).
-	for v := 0; v < m; v++ {
-		for u := 0; u < m; u++ {
-			if u == 0 && v == 0 {
-				g.coefBuf[0] = 0
-				continue
-			}
-			g.coefBuf[v*m+u] = g.auv[v*m+u] / (wu(u)*wu(u) + wv(v)*wv(v))
+		plan.InvSinPairTo(sc.b0, sc.b1, g.ex[y0*m:y0*m+m], g.ex[y1*m:y1*m+m], sc.fs)
+		g.lineE[y0] = dot(g.rho[y0*m:y0*m+m], g.psi[y0*m:y0*m+m])
+		g.lineE[y1] = dot(g.rho[y1*m:y1*m+m], g.psi[y1*m:y1*m+m])
+	})
+	// R1b: S[u][y] = InvSin over v of the wv-scaled ψ coefficient rows
+	// (wv is constant per v, so scaling the row is the whole ξy
+	// coefficient build — no third coefficient grid).
+	g.forLinePairs(func(slot, u0, u1 int) {
+		sc := &g.slots[slot]
+		for v, a := range g.auv[u0*m : u0*m+m] {
+			sc.b0[v] = g.wvTab[v] * a
 		}
-	}
-	g.reconstruct(g.coefBuf, g.psi, false, false)
-
-	// ξx coefficients: a·wu/(wu²+wv²); reconstruct sin(x)·cos(y).
-	for v := 0; v < m; v++ {
-		for u := 0; u < m; u++ {
-			if u == 0 && v == 0 {
-				g.coefBuf[0] = 0
-				continue
-			}
-			g.coefBuf[v*m+u] = g.auv[v*m+u] * wu(u) / (wu(u)*wu(u) + wv(v)*wv(v))
+		if u1 < 0 {
+			plan.InvSinTo(sc.b0, g.work[u0*m:u0*m+m], sc.fs)
+			return
 		}
-	}
-	g.reconstruct(g.coefBuf, g.ex, true, false)
-
-	// ξy coefficients: a·wv/(wu²+wv²); reconstruct cos(x)·sin(y).
-	for v := 0; v < m; v++ {
-		for u := 0; u < m; u++ {
-			if u == 0 && v == 0 {
-				g.coefBuf[0] = 0
-				continue
-			}
-			g.coefBuf[v*m+u] = g.auv[v*m+u] * wv(v) / (wu(u)*wu(u) + wv(v)*wv(v))
+		for v, a := range g.auv[u1*m : u1*m+m] {
+			sc.b1[v] = g.wvTab[v] * a
 		}
-	}
-	g.reconstruct(g.coefBuf, g.ey, false, true)
-}
-
-// forLines runs body(slot, line) for each of the grid's m lines on the
-// pool, one shard per contiguous line range. Lines must write disjoint
-// outputs; slot indexes per-worker scratch.
-func (g *Electrostatic) forLines(body func(slot, line int)) {
-	shards := par.ShardCount(g.m, 1)
-	g.pool.RunIndexed(shards, func(slot, s int) {
-		lo, hi := par.ShardRange(g.m, shards, s)
-		for line := lo; line < hi; line++ {
-			body(slot, line)
+		plan.InvSinPairTo(sc.b0, sc.b1, g.work[u0*m:u0*m+m], g.work[u1*m:u1*m+m], sc.fs)
+	})
+	// T3: S[u][y] → coefBuf[y][u].
+	g.transposeGrid(g.coefBuf, g.work)
+	// R2b: ξy rows = InvCos over u of S^T.
+	g.forLinePairs(func(slot, y0, y1 int) {
+		sc := &g.slots[slot]
+		if y1 < 0 {
+			plan.InvCosTo(g.coefBuf[y0*m:y0*m+m], g.ey[y0*m:y0*m+m], sc.fs)
+			return
 		}
+		plan.InvCosPairTo(g.coefBuf[y0*m:y0*m+m], g.coefBuf[y1*m:y1*m+m],
+			g.ey[y0*m:y0*m+m], g.ey[y1*m:y1*m+m], sc.fs)
 	})
 }
 
-// reconstruct performs the 2-D inverse transform of coef into out, using a
-// sine basis along x when sinX is set and along y when sinY is set (cosine
-// otherwise). coef is indexed [v*m+u]; out is indexed [y*m+x]. Both passes
-// fan out across the pool line-by-line.
-func (g *Electrostatic) reconstruct(coef, out []float64, sinX, sinY bool) {
+// forLinePairs runs body(slot, a, b) over the grid's m lines in the fixed
+// packed pairing of par.ForPairs (b = -1 on the unpaired tail line of an
+// odd count). Pairs must write disjoint outputs; slot indexes per-worker
+// scratch.
+func (g *Electrostatic) forLinePairs(body func(slot, a, b int)) {
+	g.pool.ForPairs(g.m, body)
+}
+
+// transposeGrid writes the transpose of the m×m grid src into dst with
+// the cache-blocked transpose, sharding tile-aligned row bands across the
+// pool. A pure element move: sharding cannot affect the result.
+func (g *Electrostatic) transposeGrid(dst, src []float64) {
 	m := g.m
-	// Inverse along u → x for each v.
-	g.forLines(func(slot, v int) {
-		sc := &g.slots[slot]
-		row := coef[v*m : (v+1)*m]
-		if sinX {
-			g.plan.InvSinTo(row, sc.out, sc.fs)
-		} else {
-			g.plan.InvCosTo(row, sc.out, sc.fs)
-		}
-		copy(out[v*m:(v+1)*m], sc.out) // out temporarily holds [v][x]
+	g.pool.ForShards(m, 32, func(_, lo, hi int) {
+		fft.TransposeBand(dst, src, m, lo, hi)
 	})
-	// Inverse along v → y for each x.
-	g.forLines(func(slot, x int) {
-		sc := &g.slots[slot]
-		for v := 0; v < m; v++ {
-			sc.buf[v] = out[v*m+x]
-		}
-		if sinY {
-			g.plan.InvSinTo(sc.buf, sc.out, sc.fs)
-		} else {
-			g.plan.InvCosTo(sc.buf, sc.out, sc.fs)
-		}
-		for y := 0; y < m; y++ {
-			out[y*m+x] = sc.out[y]
-		}
-	})
+}
+
+// dot returns Σ a[i]·b[i] in index order.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
 }
 
 // Energy returns the electrostatic potential energy N(v) = ½·Σ q·ψ of the
-// last Update.
+// last Update. The per-row Σ ρ·ψ partials were accumulated while the ψ
+// rows were cache-hot in solve; only the sequential row merge (fixed
+// order — deterministic) and the ½·binArea scaling remain.
 func (g *Electrostatic) Energy() float64 {
-	binArea := g.binW * g.binH
 	var e float64
-	for i, r := range g.rho {
-		e += r * binArea * g.psi[i]
+	for _, v := range g.lineE {
+		e += v
 	}
-	return e / 2
+	return e * g.binW * g.binH / 2
 }
 
 // AddGrad accumulates ∂N/∂x_i = -q_i·ξ(i) into gradX/gradY, sampling the

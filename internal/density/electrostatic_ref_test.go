@@ -1,0 +1,203 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fft"
+	"repro/internal/geom"
+	"repro/internal/par"
+)
+
+// denseReference recomputes ψ, ξx, ξy, and the energy of g's current ρ
+// with the textbook dense pipeline the packed solve replaced: explicit
+// mean neutralization, 2-D DCT-II via the O(N²) MatVec references (rows,
+// then stride-gathered columns), a separate normalization sweep, three
+// independently built coefficient grids with per-element wu/wv math, and
+// three independent 2-D MatVec reconstructions. Deliberately naive — it
+// shares no code with the fast path beyond the dense basis tables.
+func denseReference(g *Electrostatic) (psi, ex, ey []float64, energy float64) {
+	m := g.m
+	p := fft.NewPlan(m)
+	a := make([]float64, m*m)
+	var mean float64
+	for _, v := range g.rho {
+		mean += v
+	}
+	mean /= float64(m * m)
+	for i, v := range g.rho {
+		a[i] = v - mean
+	}
+	// Forward 2-D DCT-II: rows over x, then columns over y.
+	buf := make([]float64, m)
+	out := make([]float64, m)
+	for y := 0; y < m; y++ {
+		copy(buf, a[y*m:(y+1)*m])
+		p.DCT2MatVec(buf, a[y*m:(y+1)*m])
+	}
+	for u := 0; u < m; u++ {
+		for y := 0; y < m; y++ {
+			buf[y] = a[y*m+u]
+		}
+		p.DCT2MatVec(buf, out)
+		for v := 0; v < m; v++ {
+			a[v*m+u] = out[v]
+		}
+	}
+	// Exact cosine-series normalization.
+	nrm := 4 / (float64(m) * float64(m))
+	for v := 0; v < m; v++ {
+		for u := 0; u < m; u++ {
+			c := a[v*m+u] * nrm
+			if u == 0 {
+				c /= 2
+			}
+			if v == 0 {
+				c /= 2
+			}
+			a[v*m+u] = c
+		}
+	}
+	wu := func(u int) float64 { return math.Pi * float64(u) / (float64(m) * g.binW) }
+	wv := func(v int) float64 { return math.Pi * float64(v) / (float64(m) * g.binH) }
+	coef := make([]float64, m*m)
+	build := func(weight func(u, v int) float64) {
+		for v := 0; v < m; v++ {
+			for u := 0; u < m; u++ {
+				if u == 0 && v == 0 {
+					coef[0] = 0
+					continue
+				}
+				coef[v*m+u] = a[v*m+u] * weight(u, v) / (wu(u)*wu(u) + wv(v)*wv(v))
+			}
+		}
+	}
+	reconstruct := func(dst []float64, sinX, sinY bool) {
+		invX, invY := p.InvCosMatVec, p.InvCosMatVec
+		if sinX {
+			invX = p.InvSinMatVec
+		}
+		if sinY {
+			invY = p.InvSinMatVec
+		}
+		for v := 0; v < m; v++ {
+			copy(buf, coef[v*m:(v+1)*m])
+			invX(buf, dst[v*m:(v+1)*m]) // dst temporarily holds [v][x]
+		}
+		for x := 0; x < m; x++ {
+			for v := 0; v < m; v++ {
+				buf[v] = dst[v*m+x]
+			}
+			invY(buf, out)
+			for y := 0; y < m; y++ {
+				dst[y*m+x] = out[y]
+			}
+		}
+	}
+	psi = make([]float64, m*m)
+	ex = make([]float64, m*m)
+	ey = make([]float64, m*m)
+	build(func(u, v int) float64 { return 1 })
+	reconstruct(psi, false, false)
+	build(func(u, v int) float64 { return wu(u) })
+	reconstruct(ex, true, false)
+	build(func(u, v int) float64 { return wv(v) })
+	reconstruct(ey, false, true)
+	binArea := g.binW * g.binH
+	for i, r := range g.rho {
+		energy += r * binArea * psi[i]
+	}
+	energy /= 2
+	return psi, ex, ey, energy
+}
+
+// scatter places k overlapping square devices deterministically across
+// the region so ρ (and the spectrum) is dense and asymmetric.
+func scatter(k int, side, span float64) (*circuit.Netlist, *circuit.Placement) {
+	n, p := cluster(k, side)
+	for i := range p.X {
+		p.X[i] = math.Mod(float64(i)*span*0.37+side, span-side) + side/2
+		p.Y[i] = math.Mod(float64(i)*span*0.61+2*side, span-side) + side/2
+	}
+	return n, p
+}
+
+// TestElectrostaticMatchesDenseReference cross-validates the full packed,
+// fused solve — ψ, ξx, ξy, and Energy — against the dense-reference build
+// at every production grid size up to m = 256. 1e-10 relative (against
+// the field's max magnitude) is the acceptance bound; the packed path
+// typically lands several digits inside it.
+func TestElectrostaticMatchesDenseReference(t *testing.T) {
+	for m := 8; m <= 256; m *= 2 {
+		span := float64(4 * m)
+		n, p := scatter(25, span/10, span)
+		g := NewElectrostatic(m, geom.RectWH(0, 0, span, span))
+		g.Update(n, p)
+		refPsi, refEx, refEy, refE := denseReference(g)
+		maxAbs := func(a []float64) float64 {
+			var mx float64
+			for _, v := range a {
+				if av := math.Abs(v); av > mx {
+					mx = av
+				}
+			}
+			return mx
+		}
+		for name, pair := range map[string][2][]float64{
+			"psi": {g.psi, refPsi},
+			"ex":  {g.ex, refEx},
+			"ey":  {g.ey, refEy},
+		} {
+			got, ref := pair[0], pair[1]
+			tol := 1e-10 * (1 + maxAbs(ref))
+			for i := range got {
+				if math.Abs(got[i]-ref[i]) > tol {
+					t.Fatalf("m=%d: %s[%d] = %.17g, dense reference %.17g (tol %g)",
+						m, name, i, got[i], ref[i], tol)
+				}
+			}
+		}
+		if d := math.Abs(g.Energy() - refE); d > 1e-10*(1+math.Abs(refE)) {
+			t.Fatalf("m=%d: Energy = %.17g, dense reference %.17g", m, g.Energy(), refE)
+		}
+	}
+}
+
+// TestElectrostaticThreadInvariance checks the packed line-pair sharding
+// keeps every solve output bit-identical between inline execution and
+// pools of assorted worker counts — including counts that do not divide
+// the pair count evenly. Byte equality, not tolerance: the determinism
+// contract is exact.
+func TestElectrostaticThreadInvariance(t *testing.T) {
+	for _, m := range []int{8, 32, 128} {
+		span := float64(4 * m)
+		n, p := scatter(40, span/12, span)
+		want := NewElectrostatic(m, geom.RectWH(0, 0, span, span))
+		want.Update(n, p)
+		wantE := want.Energy()
+		for _, threads := range []int{2, 3, 5, 8} {
+			pool := par.NewPool(threads)
+			g := NewElectrostaticPool(m, geom.RectWH(0, 0, span, span), pool)
+			g.Update(n, p)
+			for name, pair := range map[string][2][]float64{
+				"rho": {g.rho, want.rho},
+				"psi": {g.psi, want.psi},
+				"ex":  {g.ex, want.ex},
+				"ey":  {g.ey, want.ey},
+			} {
+				got, ref := pair[0], pair[1]
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("m=%d threads=%d: %s[%d] = %.17g, inline %.17g (must be bit-equal)",
+							m, threads, name, i, got[i], ref[i])
+					}
+				}
+			}
+			if e := g.Energy(); e != wantE {
+				t.Fatalf("m=%d threads=%d: Energy = %.17g, inline %.17g", m, threads, e, wantE)
+			}
+			pool.Close()
+		}
+	}
+}

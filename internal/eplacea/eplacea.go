@@ -79,8 +79,10 @@ type Options struct {
 	Tracer *obs.Tracer
 
 	// Pool, when non-nil, parallelizes the wirelength-gradient, density
-	// rasterization, Poisson solve, and field-sampling kernels. Results
-	// are bit-identical to a nil Pool at any worker count (deterministic
+	// rasterization, Poisson solve, and field-sampling kernels. The solve
+	// fans its packed line-pair FFT passes out via par.ForPairs (two grid
+	// lines per complex FFT; see internal/density). Results are
+	// bit-identical to a nil Pool at any worker count (deterministic
 	// sharding; see internal/par). The caller owns the pool's lifetime.
 	Pool *par.Pool
 

@@ -21,55 +21,58 @@ import (
 
 // FFT computes the in-place forward discrete Fourier transform
 // X[k] = Σ_n x[n]·e^{-2πi·kn/N}. len(x) must be a power of two.
+//
+// Like the Plan transforms, FFT reads exact precomputed twiddles (cached
+// per size) instead of the classic w *= wBase recurrence, whose O(N·ε)
+// drift was visible at N = 1024; the convenience path and the plan path
+// now run the identical fftTab kernel and produce identical bits.
 func FFT(x []complex128) {
-	fftRadix2(x, false)
+	if len(x) == 0 {
+		return
+	}
+	fftTab(x, convTables(len(x)).fwd)
 }
 
 // IFFT computes the in-place inverse DFT (including the 1/N scale), the
 // exact inverse of FFT. len(x) must be a power of two.
 func IFFT(x []complex128) {
-	fftRadix2(x, true)
+	if len(x) == 0 {
+		return
+	}
+	fftTab(x, convTables(len(x)).inv)
 	n := complex(float64(len(x)), 0)
 	for i := range x {
 		x[i] /= n
 	}
 }
 
-func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 0 {
-		return
-	}
+// convTab holds the per-size twiddle tables backing the plan-less FFT/IFFT
+// convenience functions. Tables are built once per size and cached forever
+// (sizes are small powers of two, so the cache stays tiny).
+type convTab struct {
+	fwd, inv []complex128
+}
+
+var convCache sync.Map // int -> *convTab
+
+func convTables(n int) *convTab {
 	if n&(n-1) != 0 {
 		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	if t, ok := convCache.Load(n); ok {
+		return t.(*convTab)
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
+	t := &convTab{
+		fwd: make([]complex128, n/2),
+		inv: make([]complex128, n/2),
 	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wBase
-			}
-		}
+	for k := 0; k < n/2; k++ {
+		arg := 2 * math.Pi * float64(k) / float64(n)
+		t.fwd[k] = cmplx.Exp(complex(0, -arg))
+		t.inv[k] = cmplx.Exp(complex(0, arg))
 	}
+	actual, _ := convCache.LoadOrStore(n, t)
+	return actual.(*convTab)
 }
 
 // Plan holds precomputed twiddle factors for 1-D trig transforms of a fixed
@@ -97,7 +100,6 @@ type Plan struct {
 // goroutines sharing one Plan must use distinct Scratches.
 type Scratch struct {
 	cbuf []complex128 // FFT staging buffer
-	fbuf []float64    // coefficient reversal buffer (InvSinTo)
 }
 
 // NewPlan builds a plan for transforms of length n (power of two).
@@ -127,12 +129,14 @@ func NewPlan(n int) *Plan {
 }
 
 // fftTab is the radix-2 transform driven by a precomputed twiddle table
-// (fwdTab or invTab). Exact per-stage twiddle lookups avoid the O(N·ε)
-// drift of the w *= wBase recurrence in the table-less FFT, keeping the
-// plan's trig transforms within ~1e-14 of the dense reference, and run
-// faster than regenerating twiddles besides. No scaling is applied.
-func (p *Plan) fftTab(x []complex128, tab []complex128) {
-	n := p.n
+// (a plan's fwdTab/invTab, or the cached convenience tables). Exact
+// per-stage twiddle lookups avoid the O(N·ε) drift of the classic
+// w *= wBase recurrence, keeping the trig transforms within ~1e-14 of the
+// dense reference, and run faster than regenerating twiddles besides.
+// len(x) must be a power of two and len(tab) == len(x)/2. No scaling is
+// applied.
+func fftTab(x []complex128, tab []complex128) {
+	n := len(x)
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := 0; i < n; i++ {
 		j := int(bits.Reverse64(uint64(i)) >> shift)
@@ -144,8 +148,13 @@ func (p *Plan) fftTab(x []complex128, tab []complex128) {
 		half := size >> 1
 		stride := n / size
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := tab[k*stride]
+			// k = 0 has w = 1 exactly: skipping the multiply saves ~n
+			// complex products per transform without changing a bit
+			// (z·(1+0i) is exact).
+			a, b := x[start], x[start+half]
+			x[start], x[start+half] = a+b, a-b
+			for k, ti := 1, stride; k < half; k, ti = k+1, ti+stride {
+				w := tab[ti]
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
@@ -159,7 +168,6 @@ func (p *Plan) fftTab(x []complex128, tab []complex128) {
 func (p *Plan) NewScratch() *Scratch {
 	return &Scratch{
 		cbuf: make([]complex128, p.n),
-		fbuf: make([]float64, p.n),
 	}
 }
 
@@ -205,7 +213,7 @@ func (p *Plan) DCT2To(x, out []float64, s *Scratch) {
 	if n == 1 {
 		s.cbuf[0] = complex(x[0], 0)
 	}
-	p.fftTab(s.cbuf, p.fwdTab)
+	fftTab(s.cbuf, p.fwdTab)
 	for k := 0; k < n; k++ {
 		out[k] = real(p.twiddle[k] * s.cbuf[k])
 	}
@@ -236,7 +244,7 @@ func (p *Plan) InvCosTo(a, out []float64, s *Scratch) {
 	for k := 1; k < n; k++ {
 		s.cbuf[k] = p.untwiddle[k] * complex(a[k]/2, -a[n-k]/2)
 	}
-	p.fftTab(s.cbuf, p.invTab)
+	fftTab(s.cbuf, p.invTab)
 	for i := 0; i < n/2; i++ {
 		out[2*i] = real(s.cbuf[i])
 		out[2*i+1] = real(s.cbuf[n-1-i])
@@ -247,23 +255,168 @@ func (p *Plan) InvCosTo(a, out []float64, s *Scratch) {
 // with a scratch per goroutine.
 //
 // The sine series reduces to the cosine series through the identity
-// sin(πk(2j+1)/(2N)) = (−1)^j·cos(π(N−k)(2j+1)/(2N)): reversing the
-// coefficient index (ã[m] = a[N−m], ã[0] = 0 — the k = 0 term vanishes)
-// and alternating the output sign turns one InvCosTo into the sine
-// reconstruction at the same O(N log N) cost.
+// sin(πk(2j+1)/(2N)) = (−1)^j·cos(π(N−k)(2j+1)/(2N)): running InvCosTo on
+// the index-reversed coefficients (ã[m] = a[N−m], ã[0] = 0 — the k = 0
+// term vanishes) and alternating the output sign yields the sine
+// reconstruction at the same O(N log N) cost. The reversal is folded
+// directly into the spectrum construction (ã[k] = a[n−k], ã[n−k] = a[k]),
+// so no coefficient staging buffer is needed — the float operations are
+// bit-identical to materializing ã and calling InvCosTo.
 func (p *Plan) InvSinTo(a, out []float64, s *Scratch) {
 	n := p.n
 	if len(a) != n || len(out) != n {
 		panic("fft: transform size mismatch")
 	}
-	s.fbuf[0] = 0
-	for m := 1; m < n; m++ {
-		s.fbuf[m] = a[n-m]
+	if n == 1 {
+		out[0] = 0
+		return
 	}
-	p.InvCosTo(s.fbuf, out, s)
-	for j := 1; j < n; j += 2 {
-		out[j] = -out[j]
+	s.cbuf[0] = 0
+	for k := 1; k < n; k++ {
+		s.cbuf[k] = p.untwiddle[k] * complex(a[n-k]/2, -a[k]/2)
 	}
+	fftTab(s.cbuf, p.invTab)
+	for i := 0; i < n/2; i++ {
+		out[2*i] = real(s.cbuf[i])
+		out[2*i+1] = -real(s.cbuf[n-1-i])
+	}
+}
+
+// DCT2PairTo computes the unnormalized DCT-II of two independent real
+// lines with a single complex FFT: the classic two-for-one Hermitian
+// packing z = v₀ + i·v₁ (each line even-odd permuted as in DCT2To). The
+// FFT of a real line has Hermitian symmetry, so the two interleaved
+// spectra separate exactly as V₀[k] = (Z[k] + conj(Z[N−k]))/2 and
+// V₁[k] = (Z[k] − conj(Z[N−k]))/(2i), after which each line gets the
+// usual quarter-wave post-twiddle. Halves the FFT work of the row/column
+// passes in the spectral Poisson solve. xi and outi may alias pairwise.
+// Safe for concurrent use with a scratch per goroutine.
+func (p *Plan) DCT2PairTo(x0, x1, out0, out1 []float64, s *Scratch) {
+	n := p.n
+	if len(x0) != n || len(x1) != n || len(out0) != n || len(out1) != n {
+		panic("fft: transform size mismatch")
+	}
+	if n == 1 {
+		out0[0], out1[0] = x0[0], x1[0]
+		return
+	}
+	for i := 0; i < n/2; i++ {
+		s.cbuf[i] = complex(x0[2*i], x1[2*i])
+		s.cbuf[n-1-i] = complex(x0[2*i+1], x1[2*i+1])
+	}
+	fftTab(s.cbuf, p.fwdTab)
+	out0[0] = real(s.cbuf[0])
+	out1[0] = imag(s.cbuf[0])
+	for k := 1; k < n; k++ {
+		zk, zn := s.cbuf[k], s.cbuf[n-k]
+		v0r := (real(zk) + real(zn)) / 2
+		v0i := (imag(zk) - imag(zn)) / 2
+		v1r := (imag(zk) + imag(zn)) / 2
+		v1i := (real(zn) - real(zk)) / 2
+		twr, twi := real(p.twiddle[k]), imag(p.twiddle[k])
+		out0[k] = twr*v0r - twi*v0i
+		out1[k] = twr*v1r - twi*v1i
+	}
+}
+
+// InvCosPairTo evaluates the cosine series of two independent coefficient
+// lines with a single complex FFT. Each line's spectrum V[k] (see
+// InvCosTo) is Hermitian — its inverse FFT is real — so both pack into
+// one complex spectrum Z = V₀ + i·V₁; after one inverse FFT the real part
+// carries line 0 and the imaginary part line 1, each undoing the even-odd
+// permutation. ai and outi may alias pairwise. Safe for concurrent use
+// with a scratch per goroutine.
+func (p *Plan) InvCosPairTo(a0, a1, out0, out1 []float64, s *Scratch) {
+	n := p.n
+	if len(a0) != n || len(a1) != n || len(out0) != n || len(out1) != n {
+		panic("fft: transform size mismatch")
+	}
+	if n == 1 {
+		out0[0], out1[0] = a0[0], a1[0]
+		return
+	}
+	s.cbuf[0] = complex(a0[0], a1[0])
+	for k := 1; k < n; k++ {
+		// V₀[k] + i·V₁[k] with Vj[k] = untwiddle[k]·(aj[k] − i·aj[n−k])/2.
+		s.cbuf[k] = p.untwiddle[k] * complex((a0[k]+a1[n-k])/2, (a1[k]-a0[n-k])/2)
+	}
+	fftTab(s.cbuf, p.invTab)
+	for i := 0; i < n/2; i++ {
+		zi, zo := s.cbuf[i], s.cbuf[n-1-i]
+		out0[2*i] = real(zi)
+		out0[2*i+1] = real(zo)
+		out1[2*i] = imag(zi)
+		out1[2*i+1] = imag(zo)
+	}
+}
+
+// InvSinPairTo evaluates the sine series of two independent coefficient
+// lines with a single complex FFT: InvCosPairTo on the index-reversed
+// coefficients of both lines (folded into the spectrum construction, as
+// in InvSinTo) with the odd-output sign flip applied to both unpacked
+// lines. ai and outi may alias pairwise. Safe for concurrent use with a
+// scratch per goroutine.
+func (p *Plan) InvSinPairTo(a0, a1, out0, out1 []float64, s *Scratch) {
+	n := p.n
+	if len(a0) != n || len(a1) != n || len(out0) != n || len(out1) != n {
+		panic("fft: transform size mismatch")
+	}
+	if n == 1 {
+		out0[0], out1[0] = 0, 0
+		return
+	}
+	s.cbuf[0] = 0
+	for k := 1; k < n; k++ {
+		s.cbuf[k] = p.untwiddle[k] * complex((a0[n-k]+a1[k])/2, (a1[n-k]-a0[k])/2)
+	}
+	fftTab(s.cbuf, p.invTab)
+	for i := 0; i < n/2; i++ {
+		zi, zo := s.cbuf[i], s.cbuf[n-1-i]
+		out0[2*i] = real(zi)
+		out0[2*i+1] = -real(zo)
+		out1[2*i] = imag(zi)
+		out1[2*i+1] = -imag(zo)
+	}
+}
+
+// transposeTile is the edge of the square blocks the tiled transpose
+// moves at a time: 32×32 float64 tiles (8 KiB working set for the two
+// faces) keep both the row-major reads and the column-major writes inside
+// L1 instead of striding the full matrix.
+const transposeTile = 32
+
+// TransposeBand writes the transpose of rows [lo, hi) of the n×n
+// row-major matrix src into dst (dst[j*n+i] = src[i*n+j] for i in
+// [lo, hi), all j). Cache-blocked in transposeTile×transposeTile tiles so
+// neither side of the copy strides the whole matrix. dst and src must not
+// overlap. Bands write disjoint dst columns, so callers may shard bands
+// across workers; the result is a pure element move, identical under any
+// sharding.
+func TransposeBand(dst, src []float64, n, lo, hi int) {
+	for i0 := lo; i0 < hi; i0 += transposeTile {
+		i1 := i0 + transposeTile
+		if i1 > hi {
+			i1 = hi
+		}
+		for j0 := 0; j0 < n; j0 += transposeTile {
+			j1 := j0 + transposeTile
+			if j1 > n {
+				j1 = n
+			}
+			for i := i0; i < i1; i++ {
+				row := src[i*n : i*n+n]
+				for j := j0; j < j1; j++ {
+					dst[j*n+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// Transpose writes the transpose of the n×n row-major matrix src into
+// dst. dst and src must not overlap; see TransposeBand.
+func Transpose(dst, src []float64, n int) {
+	TransposeBand(dst, src, n, 0, n)
 }
 
 // refTables lazily builds the dense cosine/sine basis tables backing the

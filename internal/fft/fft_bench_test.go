@@ -106,3 +106,66 @@ func BenchmarkInverse(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTransformPacked compares two single-line transforms against
+// one packed pair call at the Poisson-solve line sizes — the two-for-one
+// Hermitian-packing win the fused spectral pipeline is built on (one
+// complex FFT instead of two, plus one unpack pass).
+func BenchmarkTransformPacked(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		p := NewPlan(n)
+		s := p.NewScratch()
+		x0 := benchReal(n)
+		x1 := append([]float64(nil), x0...)
+		for i := range x1 {
+			x1[i] = -x1[i] * 0.5
+		}
+		o0 := make([]float64, n)
+		o1 := make([]float64, n)
+		for _, tr := range []struct {
+			name   string
+			single func(a, out []float64, sc *Scratch)
+			pair   func(a0, a1, out0, out1 []float64, sc *Scratch)
+		}{
+			{"DCT2", p.DCT2To, p.DCT2PairTo},
+			{"InvCos", p.InvCosTo, p.InvCosPairTo},
+			{"InvSin", p.InvSinTo, p.InvSinPairTo},
+		} {
+			b.Run(fmt.Sprintf("%s/n%d/single2x", tr.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tr.single(x0, o0, s)
+					tr.single(x1, o1, s)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n%d/pair", tr.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tr.pair(x0, x1, o0, o1, s)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTransformTranspose compares the cache-blocked transpose with
+// the naive stride-n loop it replaced in the solve's column passes.
+func BenchmarkTransformTranspose(b *testing.B) {
+	for _, n := range []int{128, 512, 1024} {
+		src := benchReal(n * n)
+		dst := make([]float64, n*n)
+		b.Run(fmt.Sprintf("tiled/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Transpose(dst, src, n)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < n; r++ {
+					row := src[r*n : r*n+n]
+					for c := 0; c < n; c++ {
+						dst[c*n+r] = row[c]
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,159 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randLine fills a fresh length-n line from rng.
+func randLine(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestPairTransformsMatchSingle validates the two-for-one packed
+// transforms against the single-line fast path across every
+// production-relevant size: the Hermitian unpacking is exact in exact
+// arithmetic, so the packed results must agree to rounding error.
+func TestPairTransformsMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 1024; n *= 2 {
+		p := NewPlan(n)
+		s := p.NewScratch()
+		x0, x1 := randLine(rng, n), randLine(rng, n)
+		want0, want1 := make([]float64, n), make([]float64, n)
+		got0, got1 := make([]float64, n), make([]float64, n)
+		for _, tr := range []struct {
+			name   string
+			single func(a, out []float64, s *Scratch)
+			pair   func(a0, a1, out0, out1 []float64, s *Scratch)
+		}{
+			{"DCT2", p.DCT2To, p.DCT2PairTo},
+			{"InvCos", p.InvCosTo, p.InvCosPairTo},
+			{"InvSin", p.InvSinTo, p.InvSinPairTo},
+		} {
+			tr.single(x0, want0, s)
+			tr.single(x1, want1, s)
+			tr.pair(x0, x1, got0, got1, s)
+			for i := 0; i < n; i++ {
+				tol := 1e-12 * (1 + math.Abs(want0[i]) + math.Abs(want1[i]))
+				if math.Abs(got0[i]-want0[i]) > tol || math.Abs(got1[i]-want1[i]) > tol {
+					t.Fatalf("n=%d %s pair[%d] = (%.17g, %.17g), single (%.17g, %.17g)",
+						n, tr.name, i, got0[i], got1[i], want0[i], want1[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPairTransformsMatchMatVec cross-validates the packed transforms
+// directly against the dense O(N²) references — the ISSUE acceptance
+// bound of 1e-10 for N = 8…1024 (the fast path typically lands near
+// 1e-14).
+func TestPairTransformsMatchMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for n := 8; n <= 1024; n *= 2 {
+		p := NewPlan(n)
+		s := p.NewScratch()
+		x0, x1 := randLine(rng, n), randLine(rng, n)
+		ref0, ref1 := make([]float64, n), make([]float64, n)
+		got0, got1 := make([]float64, n), make([]float64, n)
+		for _, tr := range []struct {
+			name string
+			ref  func(a, out []float64)
+			pair func(a0, a1, out0, out1 []float64, s *Scratch)
+		}{
+			{"DCT2", p.DCT2MatVec, p.DCT2PairTo},
+			{"InvCos", p.InvCosMatVec, p.InvCosPairTo},
+			{"InvSin", p.InvSinMatVec, p.InvSinPairTo},
+		} {
+			tr.ref(x0, ref0)
+			tr.ref(x1, ref1)
+			tr.pair(x0, x1, got0, got1, s)
+			for i := 0; i < n; i++ {
+				tol := 1e-10 * (1 + math.Abs(ref0[i]) + math.Abs(ref1[i]))
+				if math.Abs(got0[i]-ref0[i]) > tol || math.Abs(got1[i]-ref1[i]) > tol {
+					t.Fatalf("n=%d %s pair[%d] = (%.17g, %.17g), matVec (%.17g, %.17g)",
+						n, tr.name, i, got0[i], got1[i], ref0[i], ref1[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDCT2PairInPlace checks the documented pairwise aliasing contract
+// (outi may alias xi), which the density solve's in-place spectrum pass
+// relies on.
+func TestDCT2PairInPlace(t *testing.T) {
+	const n = 32
+	p := NewPlan(n)
+	s := p.NewScratch()
+	rng := rand.New(rand.NewSource(13))
+	x0, x1 := randLine(rng, n), randLine(rng, n)
+	want0, want1 := make([]float64, n), make([]float64, n)
+	p.DCT2PairTo(x0, x1, want0, want1, s)
+	p.DCT2PairTo(x0, x1, x0, x1, s)
+	for i := 0; i < n; i++ {
+		if x0[i] != want0[i] || x1[i] != want1[i] {
+			t.Fatalf("in-place pair[%d] = (%g, %g), want (%g, %g)", i, x0[i], x1[i], want0[i], want1[i])
+		}
+	}
+}
+
+// TestTranspose checks the cache-blocked transpose, including sizes that
+// are not tile multiples and the band variant's column-disjointness.
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 2, 7, 32, 33, 100} {
+		src := randLine(rng, n*n)
+		dst := make([]float64, n*n)
+		Transpose(dst, src, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dst[j*n+i] != src[i*n+j] {
+					t.Fatalf("n=%d: dst[%d][%d] = %g, want src[%d][%d] = %g",
+						n, j, i, dst[j*n+i], i, j, src[i*n+j])
+				}
+			}
+		}
+		// Banded evaluation (arbitrary split points) must produce the
+		// identical matrix.
+		banded := make([]float64, n*n)
+		mid := n / 3
+		TransposeBand(banded, src, n, 0, mid)
+		TransposeBand(banded, src, n, mid, n)
+		for i := range banded {
+			if banded[i] != dst[i] {
+				t.Fatalf("n=%d: banded transpose differs at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestConvenienceFFTMatchesPlanTables: the table-less FFT must run the
+// identical fftTab kernel with identical twiddles as a Plan of the same
+// size — bit-equal outputs, not merely close (the w *= wBase recurrence
+// it replaced drifted at N = 1024).
+func TestConvenienceFFTMatchesPlanTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{8, 256, 1024} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		want := append([]complex128(nil), x...)
+		fftTab(want, p.fwdTab)
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d: FFT[%d] = %v, plan fftTab %v (must be bit-equal)", n, k, got[k], want[k])
+			}
+		}
+	}
+}

@@ -333,3 +333,30 @@ func (p *Pool) ForShards(n, grain int, body func(shard, lo, hi int)) int {
 	})
 	return shards
 }
+
+// ForPairs runs body(slot, a, b) for the fixed pairing (0,1), (2,3), … of
+// n items; when n is odd the final item forms a singleton and body
+// receives b = -1. Sharding is over PAIR indices — ShardCount(⌈n/2⌉, 1)
+// with contiguous pair ranges — so a shard boundary can never split a
+// pair, and the pairing is a pure function of n alone (never of worker
+// count). This is the sharding primitive for kernels that fuse two work
+// items into one pass, e.g. the density grid's packed real-FFT line
+// transforms, which pack two grid lines into one complex FFT: as long as
+// body's result for a pair depends only on (a, b), results are
+// bit-identical at every thread count. body must write disjoint outputs
+// per pair; slot indexes per-worker scratch as in RunIndexed.
+func (p *Pool) ForPairs(n int, body func(slot, a, b int)) {
+	pairs := (n + 1) / 2
+	shards := ShardCount(pairs, 1)
+	p.RunIndexed(shards, func(slot, s int) {
+		lo, hi := ShardRange(pairs, shards, s)
+		for q := lo; q < hi; q++ {
+			a := 2 * q
+			b := a + 1
+			if b >= n {
+				b = -1
+			}
+			body(slot, a, b)
+		}
+	})
+}

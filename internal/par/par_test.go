@@ -277,3 +277,61 @@ func TestTimingNilPoolIgnored(t *testing.T) {
 	p.SetTimingFunc(func(RunTiming) { t.Error("nil pool reported timing") })
 	p.Run(4, func(int) {})
 }
+
+func TestForPairsCoversAllItemsExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 7, 31, 33, 128} {
+			hits := make([]atomic.Int32, n)
+			var singletons atomic.Int32
+			p.ForPairs(n, func(_, a, b int) {
+				hits[a].Add(1)
+				if b == -1 {
+					singletons.Add(1)
+				} else {
+					if b != a+1 || a%2 != 0 {
+						t.Errorf("n=%d: bad pair (%d, %d)", n, a, b)
+					}
+					hits[b].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: item %d visited %d times", workers, n, i, got)
+				}
+			}
+			wantSingles := int32(n % 2)
+			if got := singletons.Load(); got != wantSingles {
+				t.Fatalf("workers=%d n=%d: %d singletons, want %d", workers, n, got, wantSingles)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestForPairsPairingIsPureFunctionOfN: the (a, b) pairs handed out must
+// be identical for a nil pool and any pooled execution — the property the
+// packed-FFT line transforms' thread-count byte-identity rests on.
+func TestForPairsPairingIsPureFunctionOfN(t *testing.T) {
+	const n = 33
+	var nilPool *Pool
+	want := make(map[int]int, n)
+	nilPool.ForPairs(n, func(_, a, b int) { want[a] = b })
+	p := NewPool(5)
+	defer p.Close()
+	var mu sync.Mutex
+	got := make(map[int]int, n)
+	p.ForPairs(n, func(_, a, b int) {
+		mu.Lock()
+		got[a] = b
+		mu.Unlock()
+	})
+	if len(got) != len(want) {
+		t.Fatalf("pooled pairing has %d pairs, inline %d", len(got), len(want))
+	}
+	for a, b := range want {
+		if got[a] != b {
+			t.Errorf("pair starting at %d: pooled partner %d, inline %d", a, got[a], b)
+		}
+	}
+}

@@ -132,6 +132,10 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 
 	side := math.Sqrt(n.TotalDeviceArea() / opt.Util)
 	region := geom.RectWH(0, 0, side, side)
+	// The prior-work model is the spatial-domain bell-shaped penalty of
+	// NTUplace3 — no spectral solve, so unlike eplacea it gets nothing
+	// from density's packed-FFT Poisson pipeline; its per-iteration cost
+	// is rasterization and gradient sampling only.
 	bell := density.NewBell(opt.GridM, region, 1.0)
 	binW := side / float64(opt.GridM)
 
