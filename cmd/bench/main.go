@@ -51,9 +51,16 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "write one JSONL convergence trace per case and method here (analyzed by cmd/trace)")
 		quiet    = flag.Bool("q", false, "suppress per-case progress lines")
 
-		chains    = flag.Int("chains", 0, "SA portfolio width: independent parallel chains, best kept (0 = per-mode default; QoR is thread-count invariant)")
-		refineOn  = flag.Bool("refine", false, "append the ILP large-neighborhood refinement stage to every method (never worsens QoR)")
-		refineWin = flag.Int("refine-windows", 0, "refinement window budget (0 = about two sweeps)")
+		chains = flag.Int("chains", 0, "SA portfolio width: independent parallel chains, best kept (0 = per-mode default; QoR is thread-count invariant)")
+
+		eco          = flag.Bool("eco", false, "also measure incremental (ECO) re-placement: each generated case gets a grown variant, solved cold and warm-started from the base placement")
+		ecoEdit      = flag.Int("eco-edit", 0, "device count added by the ECO edit (default 12)")
+		warmStart    = flag.String("warm-start", "", "placement JSON warm-starting every run (single explicit -netlist case; incompatible with -eco)")
+		warmBase     = flag.String("warm-base", "", "netlist the -warm-start placement was solved for (file, built-in, or gen: spec; default: the benchmarked netlist)")
+		anchorWeight = flag.Float64("anchor-weight", 0, "warm-start anchor pseudonet starting weight (0 = default 0.3)")
+		anchorGrowth = flag.Float64("anchor-growth", 0, "warm-start anchor weight growth per iteration (0 = default 1.03)")
+		refineOn     = flag.Bool("refine", false, "append the ILP large-neighborhood refinement stage to every method (never worsens QoR)")
+		refineWin    = flag.Int("refine-windows", 0, "refinement window budget (0 = about two sweeps)")
 	)
 	flag.Parse()
 	opt := bench.Options{
@@ -66,20 +73,37 @@ func main() {
 		Chains:        *chains,
 		Refine:        *refineOn,
 		RefineWindows: *refineWin,
+		ECO:           *eco,
+		AnchorWeight:  *anchorWeight,
+		AnchorGrowth:  *anchorGrowth,
 	}
 	if err := run(*suite, *sizes, *netlists, *methods, *label, *outDir, *baseline, opt,
-		*rtTol, *qorTol, *timeout, *quiet); err != nil {
+		*rtTol, *qorTol, *timeout, *quiet, *ecoEdit, *warmStart, *warmBase); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(suite, sizes, netlists, methods, label, outDir, baseline string,
 	opt bench.Options, rtTol, qorTol float64,
-	timeout time.Duration, quiet bool) error {
+	timeout time.Duration, quiet bool, ecoEdit int, warmStart, warmBase string) error {
 
-	cases, suiteName, err := resolveCases(suite, sizes, netlists, opt.Seed, opt.Quick)
+	cases, suiteName, err := resolveCases(suite, sizes, netlists, opt.Seed, opt.Quick, opt.ECO, ecoEdit)
 	if err != nil {
 		return err
+	}
+	if warmStart != "" {
+		if opt.ECO {
+			return fmt.Errorf("-warm-start and -eco are mutually exclusive (-eco derives its own warm starts)")
+		}
+		if len(cases) != 1 {
+			return fmt.Errorf("-warm-start needs exactly one case (got %d); use a single -netlist entry", len(cases))
+		}
+		opt.Warm, err = loadWarmStart(cases[0].Netlist, warmStart, warmBase, opt.AnchorWeight, opt.AnchorGrowth)
+		if err != nil {
+			return err
+		}
+	} else if warmBase != "" {
+		return fmt.Errorf("-warm-base needs -warm-start")
 	}
 
 	if opt.TraceDir != "" {
@@ -144,7 +168,7 @@ func run(suite, sizes, netlists, methods, label, outDir, baseline string,
 // flag is set: explicit -netlist entries, explicit -sizes, or a named
 // suite (defaulting by -quick). It returns the cases plus the suite name
 // recorded in the report.
-func resolveCases(suite, sizes, netlists string, seed int64, quick bool) ([]bench.CaseInput, string, error) {
+func resolveCases(suite, sizes, netlists string, seed int64, quick, eco bool, ecoEdit int) ([]bench.CaseInput, string, error) {
 	set := 0
 	for _, s := range []string{suite, sizes, netlists} {
 		if s != "" {
@@ -204,19 +228,54 @@ func resolveCases(suite, sizes, netlists string, seed int64, quick bool) ([]benc
 		if err != nil {
 			return nil, "", fmt.Errorf("generating %s: %w", c.Name, err)
 		}
-		cases = append(cases, bench.CaseInput{Name: c.Name, Netlist: n})
+		in := bench.CaseInput{Name: c.Name, Netlist: n}
+		if eco {
+			// The edit is the generator's own growth: same seed, more
+			// devices, so the original devices are a byte-identical prefix
+			// and the perturbation is exactly the appended tiles.
+			in.Edited, err = gen.Generate(gen.Edited(c.Params, ecoEdit))
+			if err != nil {
+				return nil, "", fmt.Errorf("generating %s eco edit: %w", c.Name, err)
+			}
+		}
+		cases = append(cases, in)
 	}
 	return cases, suiteName, nil
 }
 
-// resolveOne loads one -netlist entry: a path if the file exists, else a
-// built-in name or generator spec via netio.Load.
-func resolveOne(entry string) (*circuit.Netlist, error) {
-	if _, statErr := os.Stat(entry); statErr == nil {
-		return netio.LoadFile(entry)
+// loadWarmStart reads a -warm-start placement document and resolves it
+// against the warm base netlist (default: the benchmarked netlist itself).
+func loadWarmStart(n *circuit.Netlist, warmStart, warmBase string, aw, ag float64) (*core.WarmStart, error) {
+	f, err := os.Open(warmStart)
+	if err != nil {
+		return nil, err
 	}
-	n, _, err := netio.Load("", entry)
-	return n, err
+	defer f.Close()
+	doc, err := circuit.ReadPlacementDoc(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", warmStart, err)
+	}
+	base := n
+	if warmBase != "" {
+		if base, err = netio.Resolve(warmBase); err != nil {
+			return nil, err
+		}
+	}
+	prior, err := netio.PlacementForNetlistStrict(base, doc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", warmStart, err)
+	}
+	ws := &core.WarmStart{Placement: prior, AnchorWeight: aw, AnchorGrowth: ag}
+	if warmBase != "" {
+		ws.Base = base
+	}
+	return ws, nil
+}
+
+// resolveOne loads one -netlist entry: a path if the file exists, else a
+// built-in name or generator spec.
+func resolveOne(entry string) (*circuit.Netlist, error) {
+	return netio.Resolve(entry)
 }
 
 // caseName labels a -netlist case: the netlist's own name when it has one,

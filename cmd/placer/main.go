@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/netio"
 	"repro/internal/obs"
@@ -47,6 +48,11 @@ func main() {
 		chains    = flag.Int("chains", 0, "SA portfolio width: independent chains run in parallel, best kept (0 = the annealer's restart count; results are thread-count invariant)")
 		refine    = flag.Bool("refine", false, "append the ILP large-neighborhood refinement stage (never worsens HPWL or area)")
 		refineWin = flag.Int("refine-windows", 0, "refinement window budget (0 = about two sweeps); implies nothing unless -refine is set")
+
+		warmStart    = flag.String("warm-start", "", "prior placement JSON: run an incremental (ECO) re-solve anchored to it")
+		warmBase     = flag.String("warm-base", "", "netlist the -warm-start placement was solved for (file, built-in, or gen: spec; default: the input netlist)")
+		anchorWeight = flag.Float64("anchor-weight", 0, "initial anchor-pseudonet force as a fraction of the wirelength force (0 = default 0.3)")
+		anchorGrowth = flag.Float64("anchor-growth", 0, "per-iteration anchor weight growth (0 = default 1.03)")
 
 		tracePath  = flag.String("trace", "", "write a JSONL telemetry trace (spans, solver iterations, counters) here")
 		verbose    = flag.Bool("v", false, "periodic human-readable progress on stderr")
@@ -102,6 +108,8 @@ func main() {
 		outPath: *outPath, svgPath: *svgPath,
 		seed: *seed, threads: *threads, perf: *perf, dumpNet: *dumpNet,
 		chains: *chains, refine: *refine, refineWindows: *refineWin,
+		warmStart: *warmStart, warmBase: *warmBase,
+		anchorWeight: *anchorWeight, anchorGrowth: *anchorGrowth,
 		tracer: tracer,
 	})
 	if cerr := tracer.Close(); cerr != nil && err == nil {
@@ -126,6 +134,9 @@ type runConfig struct {
 	chains               int
 	refine               bool
 	refineWindows        int
+	warmStart, warmBase  string
+	anchorWeight         float64
+	anchorGrowth         float64
 	tracer               *obs.Tracer
 }
 
@@ -178,6 +189,15 @@ func run(ctx context.Context, cfg runConfig) error {
 	if cfg.refine {
 		opt.Refine = &refine.Options{Windows: cfg.refineWindows}
 	}
+	if cfg.warmStart != "" {
+		ws, err := loadWarmStart(n, cfg)
+		if err != nil {
+			return err
+		}
+		opt.WarmStart = ws
+	} else if cfg.warmBase != "" {
+		return fmt.Errorf("-warm-base needs -warm-start")
+	}
 	if perf {
 		if cs == nil {
 			return fmt.Errorf("-perf needs a built-in circuit (the GNN trains against its performance model)")
@@ -197,6 +217,10 @@ func run(ctx context.Context, cfg runConfig) error {
 	}
 	log.Printf("%s: area %.1f µm², HPWL %.1f µm, %.2fs, legal=%v",
 		res.Method, res.AreaUM2, res.HPWLUM, res.Runtime.Seconds(), res.Legal)
+	if opt.WarmStart != nil {
+		log.Printf("warm start: %d anchored, %d perturbed of %d devices",
+			res.WarmAnchored, res.WarmPerturbed, len(n.Devices))
+	}
 	if cs != nil {
 		log.Printf("FOM %.3f", cs.Perf.FOM(n, res.Placement))
 	}
@@ -220,6 +244,41 @@ func run(ctx context.Context, cfg runConfig) error {
 		log.Printf("wrote %s", svgPath)
 	}
 	return nil
+}
+
+// loadWarmStart reads the prior placement document and resolves the base
+// netlist it belongs to (the input netlist itself unless -warm-base names
+// another source).
+func loadWarmStart(n *circuit.Netlist, cfg runConfig) (*core.WarmStart, error) {
+	f, err := os.Open(cfg.warmStart)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := circuit.ReadPlacementDoc(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.warmStart, err)
+	}
+	base := n
+	if cfg.warmBase != "" {
+		base, err = netio.Resolve(cfg.warmBase)
+		if err != nil {
+			return nil, fmt.Errorf("-warm-base %s: %w", cfg.warmBase, err)
+		}
+	}
+	prior, err := netio.PlacementForNetlistStrict(base, doc)
+	if err != nil {
+		return nil, err
+	}
+	ws := &core.WarmStart{
+		Placement:    prior,
+		AnchorWeight: cfg.anchorWeight,
+		AnchorGrowth: cfg.anchorGrowth,
+	}
+	if cfg.warmBase != "" {
+		ws.Base = base
+	}
+	return ws, nil
 }
 
 // writeHeapProfile snapshots the heap after a final GC, the profile most

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/obs"
@@ -47,7 +48,41 @@ type Options struct {
 	// TraceEvery is the sampling cadence in proposals (default Moves/200,
 	// at least 1).
 	TraceEvery int
+
+	// Warm, when non-nil, seeds the annealer from a prior placement (the
+	// ECO analogue of the analytical placers' anchor pseudonets): the
+	// initial sequence pair is derived from the prior macro positions
+	// instead of a random permutation, anchored devices pay a
+	// displacement cost pulling them toward their prior spots, macros
+	// whose devices are all anchored are frozen internally (sequence-pair
+	// moves still reposition them), and the starting temperature is
+	// reduced so the search polishes rather than re-explores. Nil
+	// reproduces the blessed cold-start behavior exactly.
+	Warm *Warm
 }
+
+// Warm is the prior placement mapped onto this netlist.
+type Warm struct {
+	// X, Y are per-device prior coordinates. Devices with
+	// Valid[i] == false have no usable prior position; nil Valid means
+	// every coordinate is usable.
+	X, Y  []float64
+	Valid []bool
+	// Anchored marks devices charged for drifting from (X[i], Y[i]).
+	Anchored []bool
+	// Weight is the displacement term's share of the normalized cost
+	// (default 0.3).
+	Weight float64
+}
+
+func (w *Warm) weight() float64 {
+	if w.Weight == 0 {
+		return 0.3
+	}
+	return w.Weight
+}
+
+func (w *Warm) valid(i int) bool { return w.Valid == nil || w.Valid[i] }
 
 func (o *Options) defaults(n int) {
 	if o.Moves == 0 {
@@ -303,10 +338,15 @@ type evaluator struct {
 
 	normArea float64
 	normWL   float64
+
+	// Warm-start displacement term (nil when cold).
+	warm      *Warm
+	warmScale float64 // normalizing length: sqrt(total device area)
+	warmCount int     // anchored device count
 }
 
 func newEvaluator(n *circuit.Netlist, opt *Options) *evaluator {
-	return &evaluator{
+	ev := &evaluator{
 		n:        n,
 		opt:      opt,
 		place:    circuit.NewPlacement(n),
@@ -314,6 +354,18 @@ func newEvaluator(n *circuit.Netlist, opt *Options) *evaluator {
 		relY:     make([]float64, len(n.Devices)),
 		normArea: math.Max(n.TotalDeviceArea(), 1),
 	}
+	if w := opt.Warm; w != nil {
+		for _, a := range w.Anchored {
+			if a {
+				ev.warmCount++
+			}
+		}
+		if ev.warmCount > 0 {
+			ev.warm = w
+			ev.warmScale = math.Sqrt(ev.normArea)
+		}
+	}
+	return ev
 }
 
 // realize packs the state and fills ev.place (shared scratch; copy to keep).
@@ -347,6 +399,16 @@ func (ev *evaluator) cost(s *state) float64 {
 	}
 	c := ev.opt.AreaWeight*area/ev.normArea + ev.opt.WLWeight*hpwl/ev.normWL
 	c += ev.orderPenalty()
+	if ev.warm != nil {
+		var disp float64
+		for i, a := range ev.warm.Anchored {
+			if !a {
+				continue
+			}
+			disp += math.Abs(ev.place.X[i]-ev.warm.X[i]) + math.Abs(ev.place.Y[i]-ev.warm.Y[i])
+		}
+		c += ev.warm.weight() * disp / (ev.warmScale * float64(ev.warmCount))
+	}
 	if ev.opt.Perf != nil && ev.opt.PerfWeight != 0 {
 		c += ev.opt.PerfWeight * ev.opt.Perf.Prob(ev.n, ev.place)
 	}
@@ -370,8 +432,11 @@ func (ev *evaluator) orderPenalty() float64 {
 	return pen
 }
 
-// mutate applies one random move to s in place.
-func mutate(s *state, rng *rand.Rand) {
+// mutate applies one random move to s in place. frozen, when non-nil,
+// marks macros whose internal state must not change (fully anchored
+// warm-start macros): a macro-internal move landing on one is redirected
+// to a sequence-pair swap so the proposal is never a no-op.
+func mutate(s *state, rng *rand.Rand, frozen []bool) {
 	nb := s.sp.Len()
 	r := rng.Float64()
 	switch {
@@ -382,7 +447,14 @@ func mutate(s *state, rng *rand.Rand) {
 	case r < 0.70 && nb >= 2:
 		s.sp.SwapBoth(rng.Intn(nb), rng.Intn(nb))
 	default:
-		m := s.macros[rng.Intn(len(s.macros))]
+		mi := rng.Intn(len(s.macros))
+		if frozen != nil && frozen[mi] {
+			if nb >= 2 {
+				s.sp.SwapBoth(rng.Intn(nb), rng.Intn(nb))
+			}
+			return
+		}
+		m := s.macros[mi]
 		switch m.kind {
 		case mIsland:
 			switch k := rng.Intn(3); {
@@ -439,6 +511,13 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*circuit.Pl
 	ev := newEvaluator(n, &opt)
 	stats := &Stats{}
 
+	var warmPair *seqpair.Pair
+	var frozen []bool
+	if opt.Warm != nil {
+		warmPair = warmSeqpair(macros, opt.Warm)
+		frozen = frozenMacros(macros, opt.Warm)
+	}
+
 	saSpan := opt.Tracer.StartSpan("sa")
 	defer saSpan.End()
 
@@ -454,19 +533,38 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*circuit.Pl
 		default:
 		}
 		restartSpan := opt.Tracer.StartSpan(fmt.Sprintf("restart-%d", restart))
-		cur := &state{sp: seqpair.Random(len(macros), rng), macros: macros}
+		var sp0 *seqpair.Pair
+		if warmPair != nil {
+			sp0 = warmPair.Clone()
+		} else {
+			sp0 = seqpair.Random(len(macros), rng)
+		}
+		cur := &state{sp: sp0, macros: macros}
 		cur = cur.clone() // own the macro state
 		curCost := ev.cost(cur)
+		if opt.Warm != nil && curCost < bestCost {
+			// Cold restarts only record accepted moves, which is safe
+			// because a random start is never the optimum; a warm seed very
+			// well may be, so record it before the first proposal.
+			bestCost = curCost
+			ev.realize(cur)
+			bestPlace = ev.place.Clone()
+		}
 
 		// Temperature calibration: sample move deltas.
 		var sumAbs float64
 		samples := 50
 		for i := 0; i < samples; i++ {
 			trial := cur.clone()
-			mutate(trial, rng)
+			mutate(trial, rng, frozen)
 			sumAbs += math.Abs(ev.cost(trial) - curCost)
 		}
 		t0 := math.Max(sumAbs/float64(samples), 1e-6)
+		if opt.Warm != nil {
+			// Low-temperature treatment: polish the seeded configuration
+			// instead of melting it.
+			t0 = math.Max(t0*0.15, 1e-6)
+		}
 		tf := t0 * 1e-5
 		alpha := math.Pow(tf/t0, 1/float64(opt.Moves))
 
@@ -482,7 +580,7 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*circuit.Pl
 				}
 			}
 			trial := cur.clone()
-			mutate(trial, rng)
+			mutate(trial, rng, frozen)
 			c := ev.cost(trial)
 			stats.Proposals++
 			winProposals++
@@ -516,4 +614,79 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, opt Options) (*circuit.Pl
 		opt.Tracer.Gauge("sa.best_cost", bestCost)
 	}
 	return bestPlace, stats, nil
+}
+
+// warmSeqpair derives a sequence pair from the prior macro positions: in
+// Γ+ macros are ordered by ascending cx−cy and in Γ− by ascending cx+cy,
+// the classic placement→sequence-pair mapping (a macro up-left of another
+// precedes it in Γ+ only; down-left precedes in both). Macros with no
+// usable prior coordinate (all-new devices) pack last, in index order.
+func warmSeqpair(macros []*macro, w *Warm) *seqpair.Pair {
+	nm := len(macros)
+	type ck struct {
+		ok     bool
+		cx, cy float64
+	}
+	centers := make([]ck, nm)
+	for mi, m := range macros {
+		var sx, sy float64
+		cnt := 0
+		for _, d := range m.devices {
+			if !w.valid(d) {
+				continue
+			}
+			sx += w.X[d]
+			sy += w.Y[d]
+			cnt++
+		}
+		if cnt > 0 {
+			centers[mi] = ck{ok: true, cx: sx / float64(cnt), cy: sy / float64(cnt)}
+		}
+	}
+	order := func(key func(ck) float64) []int {
+		idx := make([]int, nm)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ca, cb := centers[idx[a]], centers[idx[b]]
+			if ca.ok != cb.ok {
+				return ca.ok // placeable macros first, new ones last
+			}
+			if !ca.ok {
+				return idx[a] < idx[b]
+			}
+			ka, kb := key(ca), key(cb)
+			if ka != kb {
+				return ka < kb
+			}
+			return idx[a] < idx[b]
+		})
+		return idx
+	}
+	return &seqpair.Pair{
+		Plus:  order(func(c ck) float64 { return c.cx - c.cy }),
+		Minus: order(func(c ck) float64 { return c.cx + c.cy }),
+	}
+}
+
+// frozenMacros marks macros every one of whose devices is anchored: their
+// internal arrangement is already known-good, so only sequence-pair moves
+// may touch them.
+func frozenMacros(macros []*macro, w *Warm) []bool {
+	if w.Anchored == nil {
+		return nil
+	}
+	out := make([]bool, len(macros))
+	for mi, m := range macros {
+		all := len(m.devices) > 0
+		for _, d := range m.devices {
+			if !w.Anchored[d] {
+				all = false
+				break
+			}
+		}
+		out[mi] = all
+	}
+	return out
 }

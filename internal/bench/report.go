@@ -55,6 +55,32 @@ type CaseResult struct {
 	Deterministic bool         `json:"deterministic"`
 	QoR           QoR          `json:"qor"`
 	Runtime       RuntimeStats `json:"runtime"`
+	// ECO, present only for ECO-mode runs, records the incremental
+	// re-placement experiment for this cell: the case's edited variant
+	// solved cold versus warm-started from this cell's placement.
+	ECO *ECOStats `json:"eco,omitempty"`
+}
+
+// ECOStats measures one incremental (ECO) re-placement: the edited netlist
+// solved from scratch versus warm-started from the base placement with
+// anchor pseudonets. Speedup > 1 means the warm solve was faster; the HPWL
+// ratio near 1 means it matched cold quality.
+type ECOStats struct {
+	EditedDevices int `json:"edited_devices"`
+	// Anchored/Perturbed partition the edited netlist as the warm solve
+	// saw it: devices pulled toward their prior position vs. devices in
+	// the edit's connectivity neighborhood (plus additions).
+	Anchored  int `json:"anchored"`
+	Perturbed int `json:"perturbed"`
+
+	ColdMS  float64 `json:"cold_ms"`
+	WarmMS  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+
+	ColdHPWLUM        float64 `json:"cold_hpwl_um"`
+	WarmHPWLUM        float64 `json:"warm_hpwl_um"`
+	WarmColdHPWLRatio float64 `json:"warm_cold_hpwl_ratio"`
+	WarmLegal         bool    `json:"warm_legal"`
 }
 
 // Report is the on-disk BENCH_<label>.json document.

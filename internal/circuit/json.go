@@ -293,3 +293,59 @@ func (n *Netlist) WritePlacementJSON(w io.Writer, p *Placement) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
+
+// PlacementDoc is a parsed placement JSON document (the schema
+// WritePlacementJSON emits) not yet bound to a netlist: device positions
+// are keyed by name so the document can be matched against any netlist
+// sharing those names. The warm-start (ECO) flow reads a prior placement
+// this way and matches it onto the edited netlist's surviving devices.
+type PlacementDoc struct {
+	Design string
+	Names  []string
+	X, Y   []float64
+	FlipX  []bool
+	FlipY  []bool
+	AxesX  []float64
+
+	byName map[string]int
+}
+
+// Device returns the document index of the named device.
+func (d *PlacementDoc) Device(name string) (int, bool) {
+	i, ok := d.byName[name]
+	return i, ok
+}
+
+// ReadPlacementDoc parses a placement JSON document from r. It rejects
+// unknown fields, empty documents, and duplicate device names.
+func ReadPlacementDoc(r io.Reader) (*PlacementDoc, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in jsonPlacement
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("placement json: %w", err)
+	}
+	if len(in.Devices) == 0 {
+		return nil, fmt.Errorf("placement json: no devices")
+	}
+	doc := &PlacementDoc{
+		Design: in.Design,
+		AxesX:  append([]float64(nil), in.Axes...),
+		byName: make(map[string]int, len(in.Devices)),
+	}
+	for _, jd := range in.Devices {
+		if jd.Name == "" {
+			return nil, fmt.Errorf("placement json: device with empty name")
+		}
+		if _, dup := doc.byName[jd.Name]; dup {
+			return nil, fmt.Errorf("placement json: duplicate device %q", jd.Name)
+		}
+		doc.byName[jd.Name] = len(doc.Names)
+		doc.Names = append(doc.Names, jd.Name)
+		doc.X = append(doc.X, jd.X)
+		doc.Y = append(doc.Y, jd.Y)
+		doc.FlipX = append(doc.FlipX, jd.FlipX)
+		doc.FlipY = append(doc.FlipY, jd.FlipY)
+	}
+	return doc, nil
+}

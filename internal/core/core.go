@@ -28,6 +28,7 @@ import (
 	"repro/internal/detailed"
 	"repro/internal/eplacea"
 	"repro/internal/gnn"
+	"repro/internal/netio"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/par"
@@ -167,11 +168,42 @@ type Options struct {
 	// Per-stage overrides that already carry a Metrics registry keep it.
 	Metrics *metrics.Registry
 
+	// WarmStart, when non-nil, runs the flow as an incremental (ECO)
+	// re-solve against a prior placement: the netlist diff
+	// (netio.DiffNetlists) derives the anchor set, the solvers start from
+	// the prior coordinates with anchor pseudonets on unchanged devices,
+	// and the analytical methods swap the expensive from-scratch detailed
+	// placement for cheap legalization plus window refinement focused on
+	// the perturbed region. Nil — the zero value — reproduces the blessed
+	// cold behavior byte for byte.
+	WarmStart *WarmStart
+
 	// Advanced per-stage overrides (optional).
 	GP   *eplacea.Options
 	Prev *prevwork.Options
 	SA   *anneal.Options
 	DP   *detailed.Options
+}
+
+// WarmStart names a prior placement to re-solve against.
+type WarmStart struct {
+	// Base is the netlist Placement was solved for. Nil means Placement
+	// belongs to the netlist being placed (a pure re-polish).
+	Base *circuit.Netlist
+	// Placement is the prior placement, indexed by Base's devices.
+	Placement *circuit.Placement
+
+	// AnchorWeight is the initial anchor force as a fraction of the
+	// wirelength force (default 0.3); AnchorGrowth its per-iteration ramp
+	// (default 1.03) — the SNIPPETS starting_anchor_weight /
+	// anchor_weight_increase schedule.
+	AnchorWeight float64
+	AnchorGrowth float64
+
+	// Radius and MaxFanout tune the perturbed-region diff; see
+	// netio.DiffOptions.
+	Radius    int
+	MaxFanout int
 }
 
 // Result is the outcome of a full placement flow.
@@ -189,6 +221,12 @@ type Result struct {
 
 	RefineWindows int // window ILPs solved by the refinement stage
 	RefineAccepts int // windows whose re-solve improved the placement
+
+	// Warm-start runs only: the number of devices that actually received
+	// anchor pseudonets (zero when the adaptive policy ran the warm start
+	// as initialization only) and the perturbed-region size in devices.
+	WarmAnchored  int
+	WarmPerturbed int
 
 	Legal bool
 }
@@ -235,7 +273,19 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 	if opt.Metrics != nil && ownPool {
 		InstallPoolMetrics(pool, opt.Metrics, method.ShortName(), metrics.SizeClass(len(n.Devices)))
 	}
+	var warm *warmPlan
+	if opt.WarmStart != nil {
+		var err error
+		warm, err = buildWarmPlan(n, opt.WarmStart)
+		if err != nil {
+			return nil, err
+		}
+	}
 	res := &Result{Method: method}
+	if warm != nil {
+		res.WarmAnchored = warm.anchors
+		res.WarmPerturbed = warm.perturbed
+	}
 	switch method {
 	case MethodSA:
 		saOpt := anneal.Options{Seed: opt.Seed}
@@ -257,6 +307,18 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 			saOpt.PerfWeight = opt.Perf.Weight
 			if saOpt.PerfWeight == 0 {
 				saOpt.PerfWeight = 0.6
+			}
+		}
+		if warm != nil {
+			saOpt.Warm = &anneal.Warm{
+				X: warm.x, Y: warm.y, Valid: warm.valid,
+				Anchored: warm.anchored, Weight: opt.WarmStart.AnchorWeight,
+			}
+			if opt.SA == nil {
+				// A seeded, low-temperature anneal needs far fewer proposals
+				// than a cold multi-start to polish the edit.
+				saOpt.Moves = (1500000 + 75000*len(n.Devices)) / 3
+				saOpt.Restarts = 1
 			}
 		}
 		p, stats, err := refine.Portfolio(ctx, n, saOpt, refine.PortfolioOptions{
@@ -288,6 +350,14 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 			gpOpt.Metrics = opt.Metrics
 			gpOpt.MetricsLabels = metricLabels
 		}
+		if warm != nil {
+			gpOpt.Warm = warm.gp(opt.WarmStart)
+			if opt.Prev == nil {
+				// Starting near the prior optimum, the CG epochs converge in
+				// half the cold schedule.
+				gpOpt.Epochs = 7
+			}
+		}
 		gp, err := prevwork.PlaceExtraCtx(ctx, n, gpOpt, perfExtra(opt.Perf, &gpOpt.ExtraWeight))
 		if err != nil {
 			return nil, err
@@ -311,6 +381,11 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 		portfolio := opt.Portfolio
 		if portfolio == 0 {
 			portfolio = 3
+			if warm != nil {
+				// Diversified starts defeat the purpose of a warm start —
+				// every variant would converge back to the anchor basin.
+				portfolio = 1
+			}
 		}
 		baseGP := eplacea.Options{Seed: opt.Seed}
 		if opt.GP != nil {
@@ -332,7 +407,22 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 			baseGP.Metrics = opt.Metrics
 			baseGP.MetricsLabels = metricLabels
 		}
+		if warm != nil {
+			baseGP.Warm = warm.gp(opt.WarmStart)
+			if opt.GP == nil {
+				// The overflow-based early stop fires quickly from a
+				// nearly-legal start; the cap only guards pathological edits.
+				baseGP.MaxIter = 350
+			}
+		}
 		dpOpt := detailed.Options{Mode: detailed.ModeIntegratedILP, Mu: opt.Mu}
+		if warm != nil && opt.DP == nil {
+			// The from-scratch integrated ILP dominates cold ePlace-A wall
+			// time; a warm solve exits global placement nearly legal, so the
+			// cheap two-stage legalization plus the focused window refinement
+			// below recovers the QoR at a fraction of the cost.
+			dpOpt = detailed.Options{Mode: detailed.ModeTwoStageLP}
+		}
 		if opt.DP != nil {
 			dpOpt = *opt.DP
 			dpOpt.Mode = detailed.ModeIntegratedILP
@@ -451,6 +541,26 @@ func PlaceCtx(ctx context.Context, n *circuit.Netlist, method Method, opt Option
 
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(method))
+	}
+
+	if warm != nil && method != MethodSA && warm.perturbed > 0 {
+		// Warm analytical flows finish with exact window re-solves focused
+		// on the perturbed region — the matheuristic cleanup that lets the
+		// cheap legalization above match the cold flow's QoR where it
+		// matters. Accept-if-improved, so it never hurts.
+		rp, rstats, err := refine.Refine(ctx, n, res.Placement, refine.Options{
+			Focus:         warm.focus,
+			Tracer:        opt.Tracer,
+			Metrics:       opt.Metrics,
+			MetricsLabels: metricLabels,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Placement = rp
+		res.ILPNodes += rstats.Nodes
+		res.RefineWindows += rstats.Windows
+		res.RefineAccepts += rstats.Accepts
 	}
 
 	if opt.Refine != nil {
@@ -698,4 +808,120 @@ func rowLayout(n *circuit.Netlist, p *circuit.Placement, widthFactor float64) {
 		x += d.W
 		rowH = math.Max(rowH, d.H)
 	}
+}
+
+// warmPlan is a WarmStart resolved against the netlist being placed: the
+// prior coordinates mapped onto its device indices plus the diff-derived
+// anchor and focus masks.
+type warmPlan struct {
+	x, y     []float64
+	valid    []bool
+	anchored []bool
+	focus    []bool // the perturbed region, for the window-refinement stage
+
+	anchors   int
+	perturbed int
+}
+
+// gp builds the analytical solvers' warm-start view of the plan.
+func (w *warmPlan) gp(ws *WarmStart) *eplacea.WarmStart {
+	return &eplacea.WarmStart{
+		X: w.x, Y: w.y, Valid: w.valid, Anchored: w.anchored,
+		AnchorWeight: ws.AnchorWeight, AnchorGrowth: ws.AnchorGrowth,
+	}
+}
+
+// buildWarmPlan diffs the edited netlist n against the warm start's base
+// and maps the prior placement onto n: matched devices take their prior
+// coordinates, devices outside the perturbed region become anchors, and
+// added devices start at the centroid of their prior-placed net neighbors
+// (falling back to the default centered init when they have none).
+func buildWarmPlan(n *circuit.Netlist, ws *WarmStart) (*warmPlan, error) {
+	if ws.Placement == nil {
+		return nil, fmt.Errorf("core: WarmStart needs a base placement")
+	}
+	base := ws.Base
+	if base == nil {
+		base = n
+	}
+	if err := base.CheckSized(ws.Placement); err != nil {
+		return nil, fmt.Errorf("core: warm-start placement does not fit its base netlist: %w", err)
+	}
+	d := netio.DiffNetlists(base, n, netio.DiffOptions{Radius: ws.Radius, MaxFanout: ws.MaxFanout})
+
+	nd := len(n.Devices)
+	w := &warmPlan{
+		x:         make([]float64, nd),
+		y:         make([]float64, nd),
+		valid:     make([]bool, nd),
+		anchored:  d.Anchored(),
+		focus:     d.Perturbed,
+		anchors:   d.AnchorCount(),
+		perturbed: d.PerturbedCount(),
+	}
+	// Anchor pseudonets exist to hold an untouched bulk in place while the
+	// edit's influence region re-solves around it. They only earn their keep
+	// when that bulk is the clear majority of the design: pinning a scattered
+	// minority fights the global rearrangement a grown netlist demands, and
+	// the geometric anchor ramp comes to dominate the objective before the
+	// density overflow converges. Below the threshold the warm start is kept
+	// as an initialization only, with every device free to move.
+	if w.anchors*5 < nd*3 {
+		w.anchored = nil
+		w.anchors = 0
+	}
+	for i, bi := range d.BaseIndex {
+		if bi >= 0 {
+			w.valid[i] = true
+			w.x[i] = ws.Placement.X[bi]
+			w.y[i] = ws.Placement.Y[bi]
+		}
+	}
+	// Added devices: centroid of prior-placed neighbors through local nets
+	// first, any net as a fallback (a supply-only passive still lands near
+	// its rail mates rather than at the region center).
+	maxFanout := ws.MaxFanout
+	if maxFanout == 0 {
+		maxFanout = 10 // keep in step with netio.DiffOptions' default
+	}
+	for pass := 0; pass < 2; pass++ {
+		resolved := 0
+		for i := range n.Devices {
+			if w.valid[i] {
+				resolved++
+			}
+		}
+		if resolved == nd {
+			break
+		}
+		sx := make([]float64, nd)
+		sy := make([]float64, nd)
+		cnt := make([]int, nd)
+		for ni := range n.Nets {
+			net := &n.Nets[ni]
+			if pass == 0 && maxFanout >= 0 && len(net.Pins) > maxFanout {
+				continue
+			}
+			for _, pa := range net.Pins {
+				if w.valid[pa.Device] {
+					continue
+				}
+				for _, pb := range net.Pins {
+					if pb.Device != pa.Device && w.valid[pb.Device] {
+						sx[pa.Device] += w.x[pb.Device]
+						sy[pa.Device] += w.y[pb.Device]
+						cnt[pa.Device]++
+					}
+				}
+			}
+		}
+		for i := 0; i < nd; i++ {
+			if !w.valid[i] && cnt[i] > 0 {
+				w.valid[i] = true
+				w.x[i] = sx[i] / float64(cnt[i])
+				w.y[i] = sy[i] / float64(cnt[i])
+			}
+		}
+	}
+	return w, nil
 }

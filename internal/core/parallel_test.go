@@ -137,6 +137,17 @@ func TestThreadCountByteIdentity(t *testing.T) {
 			}
 		}
 	}
+	edited, err := gen.Generate(gen.Params{Devices: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderEdited := func(res *Result) []byte {
+		var buf bytes.Buffer
+		if err := edited.WritePlacementJSON(&buf, res.Placement); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
 	for _, m := range methods {
 		opt := Options{
 			Seed:      21,
@@ -159,6 +170,30 @@ func TestThreadCountByteIdentity(t *testing.T) {
 		}
 		if !bytes.Equal(render(one), render(eight)) {
 			t.Errorf("%v: placement JSON differs between threads=1 and threads=8", m)
+		}
+
+		// Warm-start (ECO) runs hold the same contract: the perturbed-region
+		// diff, the warm initialization, and the focused cleanup stage are
+		// all deterministic at any thread count. The edited netlist extends n
+		// (same generator seed, more devices), warm-started from the
+		// threads=1 placement above.
+		wOpt := opt
+		wOpt.Threads = 1
+		wOpt.WarmStart = &WarmStart{Base: n, Placement: one.Placement}
+		wOne, err := Place(edited, m, wOpt)
+		if err != nil {
+			t.Fatalf("%v warm threads=1: %v", m, err)
+		}
+		if wOne.WarmPerturbed == 0 {
+			t.Errorf("%v warm: empty perturbed region", m)
+		}
+		wOpt.Threads = 8
+		wEight, err := Place(edited, m, wOpt)
+		if err != nil {
+			t.Fatalf("%v warm threads=8: %v", m, err)
+		}
+		if !bytes.Equal(renderEdited(wOne), renderEdited(wEight)) {
+			t.Errorf("%v: warm-start placement JSON differs between threads=1 and threads=8", m)
 		}
 	}
 }

@@ -96,6 +96,67 @@ type Options struct {
 	// series; every caller of one registry must pass the same key set
 	// (core passes method and circuit-size class).
 	MetricsLabels []string
+
+	// Warm, when non-nil, turns the run into an incremental (ECO)
+	// re-solve: device coordinates start from a prior placement and
+	// anchored devices get anchor pseudonets. Nil reproduces the blessed
+	// cold-start behavior exactly.
+	Warm *WarmStart
+}
+
+// WarmStart is a prior placement mapped onto this netlist plus the anchor
+// schedule. Anchor pseudonets are quadratic pulls w·((x−ax)²+(y−ay)²)
+// toward the prior positions whose weight is calibrated against the
+// wirelength gradient and then ramps geometrically per iteration — the
+// starting_anchor_weight / anchor_weight_increase schedule of the
+// SNIPPETS analytical placers and ePlace-3D. The solve therefore stays
+// near the known-good layout except where the netlist changed.
+type WarmStart struct {
+	// X, Y are per-device initial coordinates. Devices with
+	// Valid[i] == false (e.g. newly added ones with no usable prior
+	// position) keep the default centered init; a nil Valid means every
+	// coordinate is usable.
+	X, Y  []float64
+	Valid []bool
+	// Anchored marks devices that get an anchor pseudonet to (X[i], Y[i]).
+	// Nil means no anchors (initialization-only warm start).
+	Anchored []bool
+	// AnchorWeight is the initial anchor force as a fraction of the
+	// wirelength force (default 0.3).
+	AnchorWeight float64
+	// AnchorGrowth is the per-iteration anchor weight multiplier
+	// (default 1.03).
+	AnchorGrowth float64
+}
+
+// StartWeight returns AnchorWeight with its default applied.
+func (w *WarmStart) StartWeight() float64 {
+	if w.AnchorWeight == 0 {
+		return 0.3
+	}
+	return w.AnchorWeight
+}
+
+// GrowthFactor returns AnchorGrowth with its default applied.
+func (w *WarmStart) GrowthFactor() float64 {
+	if w.AnchorGrowth == 0 {
+		return 1.03
+	}
+	return w.AnchorGrowth
+}
+
+// ValidAt reports whether device i has a usable prior coordinate.
+func (w *WarmStart) ValidAt(i int) bool { return w.Valid == nil || w.Valid[i] }
+
+// AnchorCount returns the number of anchored devices.
+func (w *WarmStart) AnchorCount() int {
+	n := 0
+	for _, a := range w.Anchored {
+		if a {
+			n++
+		}
+	}
+	return n
 }
 
 func (o *Options) defaults() {
@@ -205,6 +266,19 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra E
 		p.X[i] = cx + (rng.Float64()-0.5)*side*0.15
 		p.Y[i] = cy + (rng.Float64()-0.5)*side*0.15
 	}
+	if w := opt.Warm; w != nil {
+		// Warm start: overwrite with the prior placement where it has a
+		// usable coordinate (the jitter draws above still happen for every
+		// device, so the rng stream is identical either way), then clamp
+		// into the possibly different region.
+		for i := 0; i < nd; i++ {
+			if w.ValidAt(i) {
+				p.X[i] = w.X[i]
+				p.Y[i] = w.Y[i]
+			}
+		}
+		clampInto(n, p, region)
+	}
 
 	st := &solveState{
 		n: n, opt: &opt, grid: grid, wlEv: wlEv, areaEv: areaEv,
@@ -288,10 +362,11 @@ type solveState struct {
 	binW   float64
 	extra  ExtraGrad
 
-	lambda float64 // density multiplier
-	tau    float64 // symmetry multiplier
-	eta    float64 // area multiplier
-	alpha  float64 // extra-term multiplier (1 when extra != nil)
+	lambda  float64 // density multiplier
+	tau     float64 // symmetry multiplier
+	eta     float64 // area multiplier
+	alpha   float64 // extra-term multiplier (1 when extra != nil)
+	anchorW float64 // anchor-pseudonet multiplier (warm starts only)
 
 	lastOverflow float64
 
@@ -351,6 +426,17 @@ func (st *solveState) calibrate() {
 		}
 		st.alpha = st.opt.ExtraWeight * wlNorm / exNorm
 	}
+	if w := st.opt.Warm; w != nil {
+		if na := w.AnchorCount(); na > 0 {
+			// At a warm start the anchored devices sit exactly on their
+			// anchors, so the anchor gradient is zero and cannot be
+			// norm-calibrated like the other terms. Estimate its scale
+			// instead: a device one bin off its anchor contributes a
+			// gradient of 2·binW, so the term's L1 norm at that typical
+			// displacement is 2·binW·na.
+			st.anchorW = w.StartWeight() * wlNorm / (2 * st.binW * float64(na))
+		}
+	}
 	st.lastOverflow = st.grid.Overflow(st.n, 1.0)
 	_ = nd
 }
@@ -362,6 +448,9 @@ func (st *solveState) schedule(iter int) {
 	st.lambda *= st.opt.LambdaGrowth
 	if !st.opt.HardSym && iter%10 == 0 {
 		st.tau *= 1.10
+	}
+	if st.anchorW > 0 {
+		st.anchorW *= st.opt.Warm.GrowthFactor()
 	}
 	gamma := st.binW * (0.5 + 7.5*math.Min(st.lastOverflow, 1))
 	st.wlEv.SetGamma(gamma)
@@ -424,6 +513,22 @@ func (st *solveState) objective(x, grad []float64) float64 {
 		if traced {
 			st.gArea = st.eta * norm2xy(st.sgx, st.sgy)
 		}
+	}
+
+	if st.anchorW > 0 {
+		w := st.opt.Warm
+		var av float64
+		for i := 0; i < nd; i++ {
+			if !w.Anchored[i] {
+				continue
+			}
+			dx := st.p.X[i] - w.X[i]
+			dy := st.p.Y[i] - w.Y[i]
+			av += dx*dx + dy*dy
+			st.gx[i] += st.anchorW * 2 * dx
+			st.gy[i] += st.anchorW * 2 * dy
+		}
+		f += st.anchorW * av
 	}
 
 	if st.extra != nil {

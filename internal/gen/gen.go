@@ -405,3 +405,21 @@ func (b *builder) passiveCluster(j int) int {
 	}
 	return out
 }
+
+// Edited derives the parameters of a grown variant of p for incremental
+// (ECO) experiments: the same generator knobs and seed with `extra` more
+// devices and "-eco" appended to the name. Because generation consumes the
+// seeded RNG one tile at a time, the edited netlist is device-prefix-
+// identical to the original — the first len(original) devices, their
+// geometry, and their local connectivity are unchanged, and the growth
+// appears as appended tiles. That makes it a deterministic stand-in for a
+// designer edit when benchmarking warm-start re-placement.
+func Edited(p Params, extra int) Params {
+	if extra <= 0 {
+		extra = 12
+	}
+	p = p.withDefaults() // freeze the name before the device count moves
+	p.Name += "-eco"
+	p.Devices += extra
+	return p
+}

@@ -157,3 +157,33 @@ func TestParseSpec(t *testing.T) {
 		t.Error("IsSpec misclassified")
 	}
 }
+
+// TestEditedPrefixStability: gen.Edited must grow the netlist while
+// keeping the original devices as a byte-identical prefix — names,
+// geometry, pins, and the membership of their low-fanout nets — which is
+// what makes it a usable deterministic ECO perturbation.
+func TestEditedPrefixStability(t *testing.T) {
+	p := gen.Params{Seed: 5, Devices: 80}
+	base := gen.MustGenerate(p)
+	ep := gen.Edited(p, 12)
+	if ep.Devices != p.Devices+12 {
+		t.Fatalf("Edited devices = %d, want %d", ep.Devices, p.Devices+12)
+	}
+	if ep.Name != base.Name+"-eco" {
+		t.Fatalf("Edited name = %q, want %q", ep.Name, base.Name+"-eco")
+	}
+	edited := gen.MustGenerate(ep)
+	if len(edited.Devices) <= len(base.Devices) {
+		t.Fatalf("edit did not grow: %d -> %d", len(base.Devices), len(edited.Devices))
+	}
+	for i := range base.Devices {
+		bd, ed := &base.Devices[i], &edited.Devices[i]
+		if bd.Name != ed.Name || bd.Type != ed.Type || bd.W != ed.W || bd.H != ed.H || len(bd.Pins) != len(ed.Pins) {
+			t.Fatalf("device %d not prefix-stable: %+v vs %+v", i, bd, ed)
+		}
+	}
+	// Default extra.
+	if q := gen.Edited(p, 0); q.Devices != p.Devices+12 {
+		t.Fatalf("default extra: devices = %d, want %d", q.Devices, p.Devices+12)
+	}
+}

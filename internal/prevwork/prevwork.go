@@ -67,6 +67,15 @@ type Options struct {
 	// MetricsLabels are constant key, value pairs stamped on every kernel
 	// series; every caller of one registry must use the same key set.
 	MetricsLabels []string
+
+	// Warm, when non-nil, turns the run into an incremental (ECO)
+	// re-solve: device coordinates start from the prior placement and
+	// anchored devices get quadratic anchor pseudonets (see
+	// eplacea.WarmStart). The anchor weight here grows by a fixed 2× per
+	// CG epoch, in step with the density weight β, rather than per
+	// iteration (AnchorGrowth is ignored). Nil reproduces the blessed
+	// cold-start behavior exactly.
+	Warm *eplacea.WarmStart
 }
 
 func (o *Options) defaults() {
@@ -174,6 +183,18 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 		p.X[i] = cx + (rng.Float64()-0.5)*side*0.15
 		p.Y[i] = cy + (rng.Float64()-0.5)*side*0.15
 	}
+	if w := opt.Warm; w != nil {
+		// Warm start: take prior coordinates where usable (the rng stream
+		// above is consumed identically either way) and clamp into the
+		// possibly different region.
+		for i := 0; i < nd; i++ {
+			if w.Valid == nil || w.Valid[i] {
+				p.X[i] = w.X[i]
+				p.Y[i] = w.Y[i]
+			}
+		}
+		clamp(n, p, region)
+	}
 
 	gx := make([]float64, nd)
 	gy := make([]float64, nd)
@@ -206,6 +227,17 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 		sNorm = wlNorm
 	}
 	tau := opt.SymWeight * wlNorm / sNorm
+
+	anchorW := 0.0
+	if w := opt.Warm; w != nil {
+		if na := w.AnchorCount(); na > 0 {
+			// The anchored devices start exactly on their anchors, so the
+			// anchor gradient is zero here and cannot be norm-calibrated;
+			// estimate the term's scale at a typical one-bin displacement
+			// (gradient 2·binW per device) instead.
+			anchorW = w.StartWeight() * wlNorm / (2 * binW * float64(na))
+		}
+	}
 
 	alpha := 0.0
 	if extra != nil {
@@ -244,6 +276,21 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 				gx[i] += tau * sgx[i]
 				gy[i] += tau * sgy[i]
 			}
+		}
+		if anchorW > 0 {
+			w := opt.Warm
+			var av float64
+			for i := 0; i < nd; i++ {
+				if !w.Anchored[i] {
+					continue
+				}
+				dx := p.X[i] - w.X[i]
+				dy := p.Y[i] - w.Y[i]
+				av += dx*dx + dy*dy
+				gx[i] += anchorW * 2 * dx
+				gy[i] += anchorW * 2 * dy
+			}
+			f += anchorW * av
 		}
 		if extra != nil {
 			zero(sgx)
@@ -297,6 +344,7 @@ func PlaceExtraCtx(ctx context.Context, n *circuit.Netlist, opt Options, extra e
 		}
 		beta *= 2
 		tau *= 1.5
+		anchorW *= 2
 	}
 	copy(p.X, x[:nd])
 	copy(p.Y, x[nd:])

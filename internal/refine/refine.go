@@ -27,6 +27,13 @@ type Options struct {
 	// (default 64).
 	MaxNodes int
 
+	// Focus, when non-nil, restricts the sweep to windows containing at
+	// least one marked device (indexed by device). The warm-start (ECO)
+	// flow passes the perturbed-region mask here so the window budget is
+	// spent where the edit landed instead of across the whole placement.
+	// The auto window budget also scales down to the focused region.
+	Focus []bool
+
 	// Tracer wraps the pass in a "refine" span (per-window ilp events,
 	// refine.* counters). Metrics, when non-nil, records each window
 	// solve in placer_kernel_seconds{...,kernel="refine_window"} under
@@ -70,7 +77,16 @@ func Refine(ctx context.Context, n *circuit.Netlist, p *circuit.Placement, opt O
 	}
 	budget := opt.Windows
 	if budget <= 0 {
-		budget = 2 * (len(n.Devices)/size + 2)
+		scope := len(n.Devices)
+		if opt.Focus != nil {
+			scope = 0
+			for _, f := range opt.Focus {
+				if f {
+					scope++
+				}
+			}
+		}
+		budget = 2 * (scope/size + 2)
 	}
 
 	span := opt.Tracer.StartSpan("refine")
@@ -96,7 +112,7 @@ func Refine(ctx context.Context, n *circuit.Netlist, p *circuit.Placement, opt O
 		// start; re-derive it each pass so devices can migrate further.
 		ws.Rederive(work)
 		accepts := 0
-		for _, win := range schedule(n, work, size, pass) {
+		for _, win := range schedule(n, work, size, pass, opt.Focus) {
 			if stats.Windows >= budget {
 				break
 			}
@@ -136,7 +152,8 @@ func Refine(ctx context.Context, n *circuit.Netlist, p *circuit.Placement, opt O
 // placement — cut into WindowSize chunks (odd passes staggered by half a
 // window), each chunk closed over symmetry-pair partners so mirrored
 // devices move together with their axis.
-func schedule(n *circuit.Netlist, p *circuit.Placement, size, pass int) [][]int {
+// A non-nil focus mask drops windows whose devices are all unmarked.
+func schedule(n *circuit.Netlist, p *circuit.Placement, size, pass int, focus []bool) [][]int {
 	nd := len(n.Devices)
 	order := make([]int, nd)
 	for i := range order {
@@ -188,6 +205,18 @@ func schedule(n *circuit.Netlist, p *circuit.Placement, size, pass int) [][]int 
 			if q, ok := partner[i]; ok && !seen[q] {
 				seen[q] = true
 				win = append(win, q)
+			}
+		}
+		if focus != nil {
+			hit := false
+			for _, i := range win {
+				if focus[i] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
 			}
 		}
 		sort.Ints(win)

@@ -33,6 +33,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -114,6 +115,22 @@ type SubmitRequest struct {
 	// positive value gives the job a private pool of that size.
 	Threads int `json:"threads,omitempty"`
 
+	// BaseJob re-places this (possibly edited) netlist against a finished
+	// job's placement — the incremental (ECO) path. The named job must be
+	// done and owned by the same manager; its netlist becomes the warm
+	// start's base. Alternatively BasePlacement (a placement JSON document)
+	// plus optionally BaseNetlist (the netlist it was solved for; default:
+	// the submitted netlist) inlines the prior placement directly. ECO
+	// jobs are charged their perturbed-region size, not the full device
+	// count, so the fair scheduler serves them at interactive weight.
+	BaseJob       string          `json:"base_job,omitempty"`
+	BaseNetlist   json.RawMessage `json:"base_netlist,omitempty"`
+	BasePlacement json.RawMessage `json:"base_placement,omitempty"`
+	// AnchorWeight and AnchorGrowth tune the warm start's anchor-pseudonet
+	// schedule (0 = defaults 0.3 and 1.03). Only valid with a base.
+	AnchorWeight float64 `json:"anchor_weight,omitempty"`
+	AnchorGrowth float64 `json:"anchor_growth,omitempty"`
+
 	// Tenant identifies the submitting client for fair scheduling and
 	// quota accounting. Empty means the "default" tenant.
 	Tenant string `json:"tenant,omitempty"`
@@ -143,20 +160,29 @@ type JobSpec struct {
 	// Requests pinning an explicit thread count leave it nil and get a
 	// private pool sized by Req.Threads.
 	Pool *par.Pool
+
+	// Warm, when non-nil, is the resolved warm start (ECO re-place) for
+	// the job; WarmCost is its scheduling cost — one plus the perturbed
+	// region size, so small edits are cheap under weighted fair queuing.
+	Warm     *core.WarmStart
+	WarmCost float64
 }
 
 // JobResult is the payload of a completed job. Placement holds the exact
 // bytes circuit.WritePlacementJSON produces, so clients (and the CI smoke
 // test) can diff it against cmd/placer output.
 type JobResult struct {
-	AreaUM2      float64         `json:"area_um2"`
-	HPWLUM       float64         `json:"hpwl_um"`
-	RuntimeSec   float64         `json:"runtime_sec"`
-	Legal        bool            `json:"legal"`
-	GPIterations int             `json:"gp_iterations,omitempty"`
-	ILPNodes     int             `json:"ilp_nodes,omitempty"`
-	SAProposals  int             `json:"sa_proposals,omitempty"`
-	Placement    json.RawMessage `json:"placement"`
+	AreaUM2      float64 `json:"area_um2"`
+	HPWLUM       float64 `json:"hpwl_um"`
+	RuntimeSec   float64 `json:"runtime_sec"`
+	Legal        bool    `json:"legal"`
+	GPIterations int     `json:"gp_iterations,omitempty"`
+	ILPNodes     int     `json:"ilp_nodes,omitempty"`
+	SAProposals  int     `json:"sa_proposals,omitempty"`
+	// Warm-start (ECO) jobs only: anchor-set and perturbed-region sizes.
+	WarmAnchored  int             `json:"warm_anchored,omitempty"`
+	WarmPerturbed int             `json:"warm_perturbed,omitempty"`
+	Placement     json.RawMessage `json:"placement"`
 	// Cached marks a result served from the content-addressed cache: the
 	// placement bytes (and quality numbers) are those of the original
 	// solve; no solver ran for this job.
@@ -186,6 +212,7 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 	if spec.Req.Refine {
 		opt.Refine = &refine.Options{Windows: spec.Req.RefineWindows}
 	}
+	opt.WarmStart = spec.Warm
 	res, err := core.PlaceCtx(ctx, spec.Netlist, spec.Method, opt)
 	if err != nil {
 		return nil, err
@@ -195,14 +222,16 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, tracer *obs.Tracer) (*Job
 		return nil, err
 	}
 	return &JobResult{
-		AreaUM2:      res.AreaUM2,
-		HPWLUM:       res.HPWLUM,
-		RuntimeSec:   res.Runtime.Seconds(),
-		Legal:        res.Legal,
-		GPIterations: res.GPIterations,
-		ILPNodes:     res.ILPNodes,
-		SAProposals:  res.SAProposals,
-		Placement:    buf.Bytes(),
+		AreaUM2:       res.AreaUM2,
+		HPWLUM:        res.HPWLUM,
+		RuntimeSec:    res.Runtime.Seconds(),
+		Legal:         res.Legal,
+		GPIterations:  res.GPIterations,
+		ILPNodes:      res.ILPNodes,
+		SAProposals:   res.SAProposals,
+		WarmAnchored:  res.WarmAnchored,
+		WarmPerturbed: res.WarmPerturbed,
+		Placement:     buf.Bytes(),
 	}, nil
 }
 
@@ -259,10 +288,14 @@ type Status struct {
 	// started. Queue wait and solve time are separate dimensions: a slow
 	// response to a client can be a saturated queue or a slow solve, and
 	// conflating them misdiagnoses capacity problems.
-	QueueWaitSec *float64   `json:"queue_wait_sec,omitempty"`
-	Events       int        `json:"events"`
-	Error        string     `json:"error,omitempty"`
-	Result       *JobResult `json:"result,omitempty"`
+	QueueWaitSec *float64 `json:"queue_wait_sec,omitempty"`
+	// BaseJob echoes an ECO submission's base-job reference; Warm marks
+	// any warm-start job (base_job or inline base).
+	BaseJob string     `json:"base_job,omitempty"`
+	Warm    bool       `json:"warm,omitempty"`
+	Events  int        `json:"events"`
+	Error   string     `json:"error,omitempty"`
+	Result  *JobResult `json:"result,omitempty"`
 }
 
 // Status snapshots the job.
@@ -278,6 +311,8 @@ func (j *Job) Status() Status {
 		Tenant:      j.spec.Req.Tenant,
 		Priority:    j.spec.Priority.String(),
 		SubmittedAt: j.submitted,
+		BaseJob:     j.spec.Req.BaseJob,
+		Warm:        j.spec.Warm != nil,
 		Events:      j.sink.Len(),
 		Error:       j.err,
 		Result:      j.result,
@@ -464,7 +499,80 @@ func (m *Manager) validate(req SubmitRequest) (*JobSpec, error) {
 	if sharedPool {
 		spec.Pool = m.pool
 	}
+	if err := m.resolveWarm(spec); err != nil {
+		return nil, err
+	}
 	return spec, nil
+}
+
+// resolveWarm turns a submission's base-job reference or inline base
+// placement into the spec's core.WarmStart, and prices the job by its
+// perturbed-region size for the fair scheduler.
+func (m *Manager) resolveWarm(spec *JobSpec) error {
+	req := &spec.Req
+	hasInline := len(req.BasePlacement) > 0
+	switch {
+	case req.BaseJob == "" && !hasInline:
+		if len(req.BaseNetlist) > 0 {
+			return errors.New("service: base_netlist without base_placement")
+		}
+		if req.AnchorWeight != 0 || req.AnchorGrowth != 0 {
+			return errors.New("service: anchor knobs need base_job or base_placement")
+		}
+		return nil
+	case req.BaseJob != "" && (hasInline || len(req.BaseNetlist) > 0):
+		return errors.New("service: request sets both base_job and an inline base; choose one")
+	}
+	if req.AnchorWeight < 0 || req.AnchorGrowth < 0 {
+		return fmt.Errorf("service: negative anchor knobs")
+	}
+
+	var baseNet *circuit.Netlist
+	var doc *circuit.PlacementDoc
+	if req.BaseJob != "" {
+		base, ok := m.Get(req.BaseJob)
+		if !ok {
+			return fmt.Errorf("service: base_job %q not found", req.BaseJob)
+		}
+		st := base.Status()
+		if st.State != StateDone || st.Result == nil {
+			return fmt.Errorf("service: base_job %q is %s, not done", req.BaseJob, st.State)
+		}
+		var err error
+		doc, err = circuit.ReadPlacementDoc(bytes.NewReader(st.Result.Placement))
+		if err != nil {
+			return fmt.Errorf("service: base_job %q placement: %w", req.BaseJob, err)
+		}
+		baseNet = base.Spec().Netlist
+	} else {
+		var err error
+		doc, err = circuit.ReadPlacementDoc(bytes.NewReader(req.BasePlacement))
+		if err != nil {
+			return fmt.Errorf("service: base_placement: %w", err)
+		}
+		baseNet = spec.Netlist
+		if len(req.BaseNetlist) > 0 {
+			baseNet, err = netio.DecodeBytes(req.BaseNetlist, "base_netlist")
+			if err != nil {
+				return err
+			}
+		}
+	}
+	prior, err := netio.PlacementForNetlistStrict(baseNet, doc)
+	if err != nil {
+		return err
+	}
+	spec.Warm = &core.WarmStart{
+		Placement:    prior,
+		AnchorWeight: req.AnchorWeight,
+		AnchorGrowth: req.AnchorGrowth,
+	}
+	if baseNet != spec.Netlist {
+		spec.Warm.Base = baseNet
+	}
+	d := netio.DiffNetlists(baseNet, spec.Netlist, netio.DiffOptions{})
+	spec.WarmCost = float64(1 + d.PerturbedCount())
+	return nil
 }
 
 // cachedResult is the cache's storage envelope for a JobResult. The
@@ -499,7 +607,7 @@ func decodeCachedResult(b []byte) (*JobResult, error) {
 // entry. Floats contribute their exact IEEE-754 bits.
 func cacheKeyFor(spec *JobSpec) rescache.Key {
 	fb := func(f float64) string { return strconv.FormatUint(math.Float64bits(f), 16) }
-	return rescache.NewKey(netio.Fingerprint(spec.Netlist),
+	fields := []string{
 		spec.Method.ShortName(),
 		strconv.FormatInt(spec.Req.Seed, 10),
 		fb(spec.Req.AreaWeight),
@@ -511,7 +619,26 @@ func cacheKeyFor(spec *JobSpec) rescache.Key {
 		// changes how far it runs.
 		strconv.FormatBool(spec.Req.Refine),
 		strconv.Itoa(spec.Req.RefineWindows),
-	)
+	}
+	if w := spec.Warm; w != nil {
+		// A warm solve's bits depend on the base netlist, the exact base
+		// placement, and the anchor schedule — never on how the base was
+		// named (job reference vs inline), so an ECO re-submission hits the
+		// cache across either form but never collides with a cold solve.
+		baseNet := w.Base
+		if baseNet == nil {
+			baseNet = spec.Netlist
+		}
+		nfp := netio.Fingerprint(baseNet)
+		pfp := netio.FingerprintPlacement(baseNet, w.Placement)
+		fields = append(fields, "warm",
+			hex.EncodeToString(nfp[:]),
+			hex.EncodeToString(pfp[:]),
+			fb(w.AnchorWeight),
+			fb(w.AnchorGrowth),
+		)
+	}
+	return rescache.NewKey(netio.Fingerprint(spec.Netlist), fields...)
 }
 
 // Submit validates req and enqueues a job with the fair scheduler. It
@@ -555,11 +682,17 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	job.trc = obs.New(job.sink, metrics.NewSpanSink(m.reg, "placerd_stage_seconds",
 		"method", spec.Req.Method, "size", metrics.SizeClass(len(spec.Netlist.Devices))))
 	// The job's scheduling weight is inverse to its circuit size: the
-	// device count is the cost the fair queue charges the tenant.
+	// device count is the cost the fair queue charges the tenant. ECO
+	// jobs only pay for their perturbed region — a small edit against a
+	// large finished placement schedules like a small job.
+	cost := float64(len(spec.Netlist.Devices))
+	if spec.Warm != nil {
+		cost = spec.WarmCost
+	}
 	job.item = &sched.Item{
 		Tenant:   spec.Req.Tenant,
 		Priority: spec.Priority,
-		Cost:     float64(len(spec.Netlist.Devices)),
+		Cost:     cost,
 		Payload:  job,
 	}
 	if err := m.sched.Enqueue(job.item); err != nil {
